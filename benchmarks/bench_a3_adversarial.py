@@ -1,0 +1,32 @@
+"""Appendix A.3: ShrinkingCone's non-competitiveness on the constructed
+input, plus segmentation speed on that input."""
+
+from repro.bench import run_experiment
+from repro.core.segmentation import shrinking_cone
+from repro.datasets import adversarial_keys
+
+
+class TestAdversarialSpeed:
+    def test_segmentation_speed(self, benchmark):
+        keys = adversarial_keys(500, error=100)
+        segs = benchmark(shrinking_cone, keys, 100)
+        assert len(segs) == 502
+
+
+class TestA3Harness:
+    def test_a3_ratio_growth(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("a3",),
+            kwargs=dict(pattern_counts=(10, 100, 1_000)),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        for row in result.rows:
+            assert row["greedy"] == row["patterns_N"] + 2  # exact paper count
+            assert row["optimal"] <= 2
+        ratios = [row["ratio"] for row in result.rows]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 100  # arbitrarily bad, growing with N

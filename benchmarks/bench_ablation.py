@@ -1,0 +1,103 @@
+"""Ablations: cone accept test, tree fanout, and B+ tree substrate speed."""
+
+from repro.bench import run_experiment
+from repro.btree import BPlusTree
+
+
+class TestBTreeSubstrate:
+    def test_btree_bulk_load(self, benchmark, weblogs_keys):
+        pairs = [(float(k), i) for i, k in enumerate(weblogs_keys[:50_000])]
+
+        def run():
+            tree = BPlusTree(branching=16)
+            tree.bulk_load(pairs)
+            return tree
+
+        tree = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert len(tree) == 50_000
+
+    def test_btree_point_gets(self, benchmark, weblogs_keys):
+        tree = BPlusTree(branching=16)
+        tree.bulk_load([(float(k), i) for i, k in enumerate(weblogs_keys[:50_000])])
+        probes = [float(k) for k in weblogs_keys[:2_000]]
+
+        def run():
+            get = tree.get
+            return sum(get(k) is not None for k in probes)
+
+        assert benchmark(run) == 2_000
+
+
+class TestConeAblation:
+    def test_abl_cone(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("abl_cone",),
+            kwargs=dict(n=60_000, errors=(10, 100)),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        for row in result.rows:
+            assert row["exact_test"] <= row["paper_test"]
+
+
+class TestSearchAblation:
+    def test_abl_search(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("abl_search",),
+            kwargs=dict(n=100_000, errors=(8, 512)),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        probes = {
+            (r["error"], r["search"]): r["probes_per_lookup"]
+            for r in result.rows
+        }
+        # Paper 4.1.2: linear beats binary at tiny errors...
+        assert probes[(8, "linear")] < probes[(8, "binary")]
+        # ...and loses badly at large ones.
+        assert probes[(512, "linear")] > 5 * probes[(512, "binary")]
+        # Exponential stays within ~2x of binary everywhere.
+        for error in (8, 512):
+            assert probes[(error, "exponential")] <= 2 * probes[(error, "binary")]
+
+
+class TestCacheSimAblation:
+    def test_abl_cachesim(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("abl_cachesim",),
+            kwargs=dict(n=150_000, n_queries=1_500),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        # At the finest paging, the fixed index's tree overflows the cache
+        # while the FITing tree's stays (nearly) resident: the mechanism
+        # behind Figure 6's fixed-index latency spike.
+        first = result.rows[0]
+        assert first["fixed_tree_kb"] > 2 * first["fiting_tree_kb"]
+        assert first["fixed_miss_ratio"] > first["fiting_miss_ratio"]
+        for row in result.rows:
+            assert row["fiting_miss_ratio"] <= row["fixed_miss_ratio"] + 1e-9
+
+
+class TestBranchingAblation:
+    def test_abl_branching(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("abl_branching",),
+            kwargs=dict(n=100_000, error=16),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        heights = [r["height"] for r in result.rows]
+        assert heights == sorted(heights, reverse=True)

@@ -1,0 +1,47 @@
+"""Figure 10: cost-model accuracy — estimates vs access-counted actuals."""
+
+from repro.bench import run_experiment
+from repro.core.cost_model import CostModel, CostModelParams
+
+
+class TestCostModelSpeed:
+    def test_learned_model_queries(self, benchmark, weblogs_keys):
+        model = CostModel.learned(
+            weblogs_keys, params=CostModelParams(c_ns=50.0)
+        )
+        model.lookup_latency_ns(256)  # warm the memo
+
+        def run():
+            return (
+                model.lookup_latency_ns(256),
+                model.size_bytes(256),
+                model.insert_latency_ns(256),
+            )
+
+        lat, size, ins = benchmark(run)
+        assert lat > 0 and size > 0 and ins > 0
+
+    def test_selector_over_grid(self, benchmark, weblogs_keys):
+        model = CostModel.learned(weblogs_keys)
+        chosen = benchmark(
+            model.pick_error_for_size, 256 * 1024, (16, 64, 256, 1024, 4096)
+        )
+        assert chosen in (16, 64, 256, 1024, 4096)
+
+
+class TestFig10Harness:
+    def test_fig10_accuracy(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig10",),
+            kwargs=dict(n=100_000, n_queries=5_000),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        for row in result.rows:
+            # Paper Fig 10b: size estimate is pessimistic yet accurate.
+            assert 1.0 <= row["size_est/act"] <= 4.0
+            # Paper Fig 10a: latency estimate upper-bounds the actual.
+            assert row["lat_est/act"] >= 1.0

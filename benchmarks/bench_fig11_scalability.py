@@ -1,0 +1,28 @@
+"""Figure 11: lookup-latency scalability with dataset size."""
+
+from repro.bench import run_experiment
+
+
+class TestFig11Harness:
+    def test_fig11_scaling(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig11",),
+            kwargs=dict(n=20_000, n_queries=2_000,
+                        scale_factors=(1, 2, 4, 8, 16)),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        # Binary search is the slowest structure at every non-toy scale
+        # (the paper's log2(n) vs log_b(n) argument).
+        for row in result.rows[1:]:
+            slowest_tree = max(row["fiting_ns"], row["fixed_ns"], row["full_ns"])
+            assert row["binary_ns"] >= slowest_tree
+        # FITing tracks the full index within a small factor at every scale
+        # while staying far smaller (the paper's scale-factor-32 point:
+        # the full index outgrows memory, the FITing-Tree does not).
+        for row in result.rows:
+            assert row["fiting_ns"] <= 6 * row["full_ns"]
+            assert row["fiting_kb"] * 10 < row["full_kb"]

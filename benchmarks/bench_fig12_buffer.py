@@ -1,0 +1,24 @@
+"""Figure 12 (A.2): insert throughput vs per-segment buffer size."""
+
+from repro.bench import run_experiment
+
+
+class TestFig12Harness:
+    def test_fig12_buffer_knob(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig12",),
+            kwargs=dict(n=60_000, n_inserts=6_000, error=20_000,
+                        buffers=(10, 100, 1_000, 10_000)),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        rows = result.rows
+        splits = [r["splits"] for r in rows]
+        # Larger buffers -> strictly fewer merge/re-segmentation events.
+        assert splits == sorted(splits, reverse=True)
+        # The paper's A.2 claim: bigger buffers buy write throughput; the
+        # 10 -> 1000 step must show a clear win (wall clock, relative).
+        assert rows[2]["minserts_per_s"] > 2 * rows[0]["minserts_per_s"]

@@ -1,0 +1,30 @@
+"""Figure 13 (A.1): lookup-cost breakdown — tree search vs page search."""
+
+from repro.bench import run_experiment
+
+
+class TestFig13Harness:
+    def test_fig13_breakdown(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig13",),
+            kwargs=dict(n=100_000, n_queries=3_000,
+                        grid=(10, 100, 1_000, 10_000)),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        for structure in ("fiting", "fixed"):
+            rows = [r for r in result.rows if r["structure"] == structure]
+            # Page-search share grows monotonically with the error/page
+            # size (paper A.1's stacked bars tilting right).
+            shares = [r["pct_page"] for r in rows]
+            assert shares == sorted(shares)
+        # At every grid point the FITing-Tree spends no larger a share in
+        # the tree than fixed paging does (its tree is smaller).
+        fit = [r for r in result.rows if r["structure"] == "fiting"]
+        fix = [r for r in result.rows if r["structure"] == "fixed"]
+        assert sum(
+            1 for a, b in zip(fit, fix) if a["pct_tree"] <= b["pct_tree"] + 1e-9
+        ) >= len(fit) - 1

@@ -1,0 +1,99 @@
+"""Figure 6: lookup latency vs index size, all four structures.
+
+Micro-benchmarks time raw point lookups per structure; the harness test
+regenerates the figure's series and asserts the paper's dominance shape.
+"""
+
+import pytest
+
+from repro.baselines import BinarySearchIndex, FixedPageIndex, FullIndex
+from repro.bench import run_experiment
+from repro.core.fiting_tree import FITingTree
+
+
+@pytest.fixture(scope="module")
+def structures(weblogs_keys):
+    return {
+        "fiting": FITingTree(weblogs_keys, error=256, buffer_capacity=0),
+        "fixed": FixedPageIndex(weblogs_keys, page_size=256, buffer_capacity=0),
+        "full": FullIndex(weblogs_keys),
+        "binary": BinarySearchIndex(weblogs_keys),
+    }
+
+
+class TestLookupSpeed:
+    @pytest.mark.parametrize("name", ["fiting", "fixed", "full", "binary"])
+    def test_point_lookups(self, benchmark, structures, weblogs_queries, name):
+        index = structures[name]
+        queries = weblogs_queries[:2_000]
+
+        def run():
+            get = index.get
+            hits = 0
+            for q in queries:
+                if get(q) is not None:
+                    hits += 1
+            return hits
+
+        hits = benchmark(run)
+        assert hits == len(queries)
+
+    def test_fiting_bulk_lookup(self, benchmark, structures, weblogs_queries):
+        index = structures["fiting"]
+        out = benchmark(index.bulk_lookup, weblogs_queries)
+        assert len(out) == len(weblogs_queries)
+
+
+class TestFig6Harness:
+    def test_fig6_series(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig6",),
+            kwargs=dict(
+                n=150_000, n_queries=5_000, grid=(16, 64, 256, 1024, 4096)
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        for dataset in ("weblogs", "iot", "maps"):
+            rows = [r for r in result.rows if r["dataset"] == dataset]
+            fiting = sorted(
+                (r for r in rows if r["structure"] == "fiting"),
+                key=lambda r: r["size_kb"],
+            )
+            fixed = sorted(
+                (r for r in rows if r["structure"] == "fixed"),
+                key=lambda r: r["size_kb"],
+            )
+            full = next(r for r in rows if r["structure"] == "full")
+            binary = next(r for r in rows if r["structure"] == "binary")
+            # Latency decreases as the index grows (both sparse structures).
+            assert fiting[-1]["modeled_ns"] < fiting[0]["modeled_ns"]
+            # Full is the latency floor; binary the zero-size ceiling.
+            assert full["modeled_ns"] <= min(r["modeled_ns"] for r in fiting)
+            assert binary["modeled_ns"] >= max(r["modeled_ns"] for r in fiting)
+            # Dominance at matched latency: the FITing-Tree generally needs
+            # no more space than fixed paging for the same latency. (The
+            # paper's orders-of-magnitude gap vs *fixed* needs billion-row
+            # tables where page counts are huge; at simulation scale the
+            # robust claims are dominance here and the large gap vs *full*
+            # below.)
+            savings = []
+            for fx in fixed:
+                candidates = [
+                    r["size_kb"]
+                    for r in fiting
+                    if r["modeled_ns"] <= fx["modeled_ns"] * 1.05
+                ]
+                if candidates:
+                    savings.append(fx["size_kb"] / max(min(candidates), 1e-9))
+            assert savings, f"{dataset}: fiting never matched fixed latency"
+            assert max(savings) >= 1.2, f"{dataset}: no size win: {savings}"
+            # Near-full latency at a small fraction of the full index size.
+            near_full = [
+                r for r in fiting if r["modeled_ns"] <= 3 * full["modeled_ns"]
+            ]
+            assert near_full, f"{dataset}: fiting never came near full"
+            assert min(r["size_kb"] for r in near_full) * 20 < full["size_kb"]

@@ -1,0 +1,33 @@
+"""Figure 8: non-linearity ratio per dataset over the error-scale grid."""
+
+from repro.analysis import nonlinearity_ratio
+from repro.bench import run_experiment
+
+
+class TestNonlinearitySpeed:
+    def test_single_ratio(self, benchmark, iot_keys):
+        ratio = benchmark(nonlinearity_ratio, iot_keys, 100)
+        assert 0 < ratio <= 1.5
+
+
+class TestFig8Harness:
+    def test_fig8_profiles(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig8",),
+            kwargs=dict(n=100_000, datasets=("weblogs", "iot", "maps")),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        profiles = {
+            name: {r["error"]: r[name] for r in result.rows if r[name] != ""}
+            for name in ("weblogs", "iot", "maps")
+        }
+        # IoT: one pronounced bump, well above its own baseline.
+        iot = profiles["iot"]
+        assert max(iot.values()) > 2.5 * min(iot.values())
+        # Maps: comparatively linear at small scales (paper's observation).
+        small = [v for e, v in profiles["maps"].items() if e <= 100]
+        assert sum(small) / len(small) < 0.3

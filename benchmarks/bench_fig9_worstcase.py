@@ -1,0 +1,44 @@
+"""Figure 9: worst-case step data — build speed and the size cliff."""
+
+from repro.bench import run_experiment
+from repro.core.fiting_tree import FITingTree
+from repro.datasets import step_data
+
+
+class TestWorstCaseBuild:
+    def test_build_below_step(self, benchmark):
+        keys = step_data(100_000, step=100)
+        index = benchmark(
+            lambda: FITingTree(keys, error=50, buffer_capacity=0)
+        )
+        assert index.n_segments > 1_000
+
+    def test_build_above_step(self, benchmark):
+        keys = step_data(100_000, step=100)
+        index = benchmark(
+            lambda: FITingTree(keys, error=150, buffer_capacity=0)
+        )
+        assert index.n_segments == 1
+
+
+class TestFig9Harness:
+    def test_fig9_cliff(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("fig9",),
+            kwargs=dict(n=100_000, step=100),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        by_error = {r["error"]: r for r in result.rows}
+        # Below the step: fiting tracks fixed within a small factor, far
+        # below full (paper: "same as a fixed-sized index but still smaller
+        # than a full index").
+        low = by_error[50]
+        assert low["fiting_kb"] < 5 * low["fixed_kb"]
+        assert low["fiting_kb"] < low["full_kb"]
+        # At/above the step: single segment, orders of magnitude collapse.
+        assert by_error[150]["fiting_segments"] == 1
+        assert by_error[50]["fiting_kb"] > 50 * by_error[150]["fiting_kb"]

@@ -1,0 +1,53 @@
+"""Table 1: segmentation micro-benchmarks + the greedy-vs-optimal table.
+
+Regenerates the paper's Table 1 rows (ShrinkingCone vs Optimal segment
+counts and their ratio) and times the algorithms themselves.
+"""
+
+import pytest
+
+from repro.bench import run_experiment
+from repro.core.optimal import optimal_segment_count
+from repro.core.segmentation import shrinking_cone, shrinking_cone_reference
+
+
+class TestSegmentationSpeed:
+    def test_shrinking_cone_vectorized(self, benchmark, weblogs_keys):
+        segs = benchmark(shrinking_cone, weblogs_keys, 100)
+        assert len(segs) > 10
+
+    def test_shrinking_cone_reference(self, benchmark, weblogs_keys):
+        keys = weblogs_keys[:10_000]
+        segs = benchmark(shrinking_cone_reference, keys, 100)
+        assert len(segs) >= 1
+
+    def test_shrinking_cone_small_error(self, benchmark, weblogs_keys):
+        segs = benchmark(shrinking_cone, weblogs_keys, 10)
+        assert len(segs) > 100
+
+    def test_optimal_free_slope(self, benchmark, weblogs_keys):
+        keys = weblogs_keys[:20_000]
+        count = benchmark(optimal_segment_count, keys, 100)
+        assert count >= 1
+
+
+class TestTable1Harness:
+    def test_table1_rows(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=("table1",),
+            kwargs=dict(
+                n=20_000,
+                endpoint_n=4_000,
+                errors=(10, 100),
+                datasets=("weblogs", "iot", "taxi_drop_lat", "osm_lon"),
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        for row in result.rows:
+            # Paper's Table 1 shape: greedy close to optimal, never below.
+            assert 1.0 <= row["ratio"] < 5.0
+            assert row["greedy@sample"] >= row["opt_endpt@sample"]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Sizes are chosen so the full ``pytest benchmarks/ --benchmark-only`` run
+finishes in a few minutes of CPython time while still exercising every
+experiment's shape. EXPERIMENTS.md records a larger harness run
+(``python -m repro.bench all``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import get
+from repro.workloads import uniform_lookups
+
+BENCH_N = 100_000
+
+
+@pytest.fixture(scope="session")
+def weblogs_keys():
+    return get("weblogs", n=BENCH_N, seed=0)
+
+
+@pytest.fixture(scope="session")
+def iot_keys():
+    return get("iot", n=BENCH_N, seed=0)
+
+
+@pytest.fixture(scope="session")
+def maps_keys():
+    return get("maps", n=BENCH_N, seed=0)
+
+
+@pytest.fixture(scope="session")
+def weblogs_queries(weblogs_keys):
+    return uniform_lookups(weblogs_keys, 10_000, seed=1)

@@ -1,0 +1,81 @@
+"""Quickstart: build a FITing-Tree, look things up, insert, measure.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BinarySearchIndex,
+    FITingTree,
+    FixedPageIndex,
+    FullIndex,
+    LatencyModel,
+)
+from repro.workloads import run_lookups, uniform_lookups
+
+
+def main() -> None:
+    # 1M sorted keys (timestamps, sensor readings, ...). The FITing-Tree
+    # requires sorted input for bulk loading, like any clustered index.
+    rng = np.random.default_rng(7)
+    keys = np.sort(rng.uniform(0, 1e9, 1_000_000))
+
+    # The tunable error knob: lookups probe at most an error-bounded window.
+    index = FITingTree(keys, error=256)
+    print(f"built: {index}")
+    print(f"  segments          : {index.n_segments:,} (vs {len(keys):,} keys)")
+    print(f"  index size        : {index.model_bytes() / 1024:.1f} KB")
+
+    # Point lookups return the payload; with no values given, payloads are
+    # row ids (positions at build time).
+    probe = keys[123_456]
+    print(f"  get({probe:.3f})  -> row {index.get(probe)}")
+    print(f"  missing key       -> {index.get(-1.0, 'not found')}")
+
+    # Range scan: sequential within and across segments.
+    lo, hi = keys[1000], keys[1020]
+    rows = [row for _, row in index.range_items(lo, hi)]
+    print(f"  range[{lo:.0f}, {hi:.0f}] -> rows {rows[0]}..{rows[-1]}")
+
+    # Inserts are buffered per segment; a full buffer triggers a local
+    # merge + re-segmentation (never a global rebuild).
+    index.insert(123.456)
+    print(f"  after insert      : n={len(index):,}, still valid:", end=" ")
+    index.validate()
+    print("yes")
+
+    # Size comparison against the paper's baselines.
+    print("\nindex size comparison (same data, same B+ tree substrate):")
+    full = FullIndex(keys)
+    fixed = FixedPageIndex(keys, page_size=256, buffer_capacity=0)
+    binary = BinarySearchIndex(keys)
+    read_only = FITingTree(keys, error=256, buffer_capacity=0)
+    for name, idx in [
+        ("FITingTree(error=256)", read_only),
+        ("FixedPageIndex(page=256)", fixed),
+        ("FullIndex (dense)", full),
+        ("BinarySearchIndex", binary),
+    ]:
+        print(f"  {name:26s} {idx.model_bytes() / 1024:10.1f} KB")
+
+    # Simulated lookup latency (random accesses priced by a cache model —
+    # see DESIGN.md for why wall-clock ns are not comparable in CPython).
+    queries = uniform_lookups(keys, 10_000, seed=1)
+    model = LatencyModel()
+    print("\nmodeled lookup latency (10k random hits):")
+    for name, idx in [
+        ("FITingTree", read_only),
+        ("FixedPageIndex", fixed),
+        ("FullIndex", full),
+        ("BinarySearch", binary),
+    ]:
+        res = run_lookups(idx, queries, latency_model=model, use_bulk=True)
+        print(
+            f"  {name:26s} {res.modeled_ns_per_op:8.1f} ns/lookup "
+            f"({res.hits}/{res.ops} hits)"
+        )
+
+
+if __name__ == "__main__":
+    main()

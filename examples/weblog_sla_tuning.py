@@ -1,0 +1,71 @@
+"""DBA cost-model workflow (paper Section 6): pick the error from an SLA.
+
+Two scenarios on a web-request log:
+  1. a lookup-latency SLA ("p50 under 900ns") -> smallest index meeting it;
+  2. a storage budget ("the index gets 64KB") -> fastest index fitting it.
+
+The chosen configuration is then built and checked against the simulated
+latency (access counts priced at the same c as the model).
+
+Run:  python examples/weblog_sla_tuning.py
+"""
+
+from repro import CostModel, CostModelParams, FITingTree, LatencyModel
+from repro.datasets import weblogs
+from repro.workloads import run_lookups, uniform_lookups
+
+C_NS = 50.0  # measured cost of a random access on the paper's hardware
+CANDIDATES = (16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+
+def build_and_measure(keys, error):
+    index = FITingTree(keys, error=error, buffer_capacity=int(error) // 2)
+    res = run_lookups(
+        index,
+        uniform_lookups(keys, 5_000, seed=1),
+        latency_model=LatencyModel(c=C_NS),
+    )
+    return index, res.modeled_ns_per_op
+
+
+def main() -> None:
+    keys = weblogs(400_000, seed=3)
+    print(f"{len(keys):,} web requests; learning S_e by segmenting...")
+    model = CostModel.learned(keys, params=CostModelParams(c_ns=C_NS))
+
+    # --- Scenario 1: latency SLA ---------------------------------------
+    sla_ns = 900.0
+    error = model.pick_error_for_latency(sla_ns, candidates=CANDIDATES)
+    index, actual = build_and_measure(keys, error)
+    print(f"\nSLA {sla_ns:.0f}ns -> error={error}")
+    print(f"  estimated latency : {model.lookup_latency_ns(error):8.1f} ns")
+    print(f"  simulated latency : {actual:8.1f} ns "
+          f"({'meets' if actual <= sla_ns else 'VIOLATES'} the SLA)")
+    print(f"  index size        : {index.model_bytes() / 1024:8.1f} KB")
+
+    # --- Scenario 2: storage budget ------------------------------------
+    budget = 64 * 1024
+    error = model.pick_error_for_size(budget, candidates=CANDIDATES)
+    index, actual = build_and_measure(keys, error)
+    print(f"\nbudget {budget / 1024:.0f}KB -> error={error}")
+    print(f"  estimated size    : {model.size_bytes(error) / 1024:8.1f} KB")
+    print(f"  actual size       : {index.model_bytes() / 1024:8.1f} KB "
+          f"({'fits' if index.model_bytes() <= budget else 'OVERFLOWS'})")
+    print(f"  simulated latency : {actual:8.1f} ns")
+
+    # --- The whole trade-off curve --------------------------------------
+    print("\nerror  est_ns  sim_ns  est_KB  act_KB")
+    for error in CANDIDATES:
+        index, actual = build_and_measure(keys, error)
+        print(
+            f"{error:5d}  {model.lookup_latency_ns(error):6.0f}"
+            f"  {actual:6.0f}"
+            f"  {model.size_bytes(error) / 1024:6.1f}"
+            f"  {index.model_bytes() / 1024:6.1f}"
+        )
+    print("\n(estimates are deliberately pessimistic: the model prices every"
+          "\n probe as a cache miss, as in the paper's Figure 10)")
+
+
+if __name__ == "__main__":
+    main()

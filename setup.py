@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs in offline environments.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so ``pip install -e . --no-build-isolation`` needs the
+legacy (setup.py develop) code path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

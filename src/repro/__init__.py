@@ -1,0 +1,69 @@
+"""FITing-Tree (A-Tree) reproduction: a data-aware bounded-approximate index.
+
+This package is a from-scratch Python implementation of
+
+    Galakatos, Markovitch, Binnig, Fonseca, Kraska.
+    "FITing-Tree: A Data-aware Index Structure" (SIGMOD 2019) /
+    "A-Tree: A Bounded Approximate Index Structure" (arXiv:1801.10207).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import FITingTree
+>>> keys = np.sort(np.random.default_rng(7).uniform(0, 1e9, 1_000_000))
+>>> index = FITingTree(keys, error=256)
+>>> int(index.get(keys[123]))     # -> 123 (row id)
+123
+>>> index.n_segments < 50_000     # orders of magnitude fewer entries than keys
+True
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines import BinarySearchIndex, FixedPageIndex, FullIndex
+from repro.btree import BPlusTree
+from repro.core import (
+    CostModel,
+    CostModelParams,
+    FITingTree,
+    SecondaryFITingTree,
+    Segment,
+    StringFITingTree,
+    exact_cone,
+    load_index,
+    optimal_segment_count,
+    optimal_segments,
+    optimal_segments_endpoint,
+    save_index,
+    shrinking_cone,
+    verify_segments,
+)
+from repro.memsim import AccessCounter, CacheSim, LatencyModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessCounter",
+    "BPlusTree",
+    "BinarySearchIndex",
+    "CacheSim",
+    "CostModel",
+    "CostModelParams",
+    "FITingTree",
+    "FixedPageIndex",
+    "FullIndex",
+    "LatencyModel",
+    "SecondaryFITingTree",
+    "Segment",
+    "StringFITingTree",
+    "exact_cone",
+    "load_index",
+    "save_index",
+    "optimal_segment_count",
+    "optimal_segments",
+    "optimal_segments_endpoint",
+    "shrinking_cone",
+    "verify_segments",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis utilities: the non-linearity measure and sweep helpers."""
+
+from repro.analysis.nonlinearity import (
+    log_error_grid,
+    nonlinearity_profile,
+    nonlinearity_ratio,
+)
+from repro.analysis.sweep import crossover, geometric_grid, sweep
+
+__all__ = [
+    "crossover",
+    "geometric_grid",
+    "log_error_grid",
+    "nonlinearity_profile",
+    "nonlinearity_ratio",
+    "sweep",
+]

@@ -1,0 +1,82 @@
+"""Ablation: trace-driven cache simulation of index tree descents.
+
+Figure 6's one anomaly — "the spike in the graph for the fixed-sized index
+is due to the fact that the index begins to fall out of the CPU's L2
+cache" — is a *cache residency* effect. This experiment demonstrates it
+from first principles, without the analytic latency model: B+ tree lookups
+are traced address-by-address (:mod:`repro.memsim.trace`) and replayed
+through a set-associative LRU cache (:mod:`repro.memsim.cache`).
+
+Expected shape: at a fixed cache size, the small data-aware FITing segment
+tree stays nearly fully resident (low miss ratio) across the page/error
+sweep, while the fixed-page index's much larger tree crosses the cache
+capacity and its miss ratio jumps — the spike's mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import FixedPageIndex
+from repro.bench.harness import ExperimentResult, register_experiment
+from repro.core.fiting_tree import FITingTree
+from repro.datasets import get
+from repro.memsim import AddressSpace, CacheSim, lookup_trace
+from repro.workloads import uniform_lookups
+
+
+def _miss_ratio(tree, queries, cache_bytes: int) -> tuple:
+    space = AddressSpace()
+    cache = CacheSim(capacity_bytes=cache_bytes, line_size=64, ways=8)
+    # Warm-up pass so we measure steady state, then the measured pass.
+    for q in queries[: len(queries) // 4]:
+        cache.replay(lookup_trace(tree, (float(q), 1e18), space))
+    measured = CacheSim(capacity_bytes=cache_bytes, line_size=64, ways=8)
+    measured._sets = cache._sets  # continue with the warm state
+    for q in queries[len(queries) // 4 :]:
+        measured.replay(lookup_trace(tree, (float(q), 1e18), space))
+    return measured.stats.miss_ratio, space.bytes_allocated
+
+
+@register_experiment("abl_cachesim")
+def abl_cachesim(
+    n: int = 150_000,
+    seed: int = 0,
+    n_queries: int = 2_000,
+    grid: Sequence[int] = (16, 64, 256, 1024),
+    cache_kb: int = 64,
+    dataset: str = "weblogs",
+) -> ExperimentResult:
+    keys = get(dataset, n=n, seed=seed)
+    queries = uniform_lookups(keys, n_queries, seed=seed + 1)
+    cache_bytes = cache_kb * 1024
+    rows = []
+    for param in grid:
+        fiting = FITingTree(keys, error=param, buffer_capacity=0)
+        fixed = FixedPageIndex(keys, page_size=param, buffer_capacity=0)
+        fit_miss, fit_bytes = _miss_ratio(fiting._tree, queries, cache_bytes)
+        fix_miss, fix_bytes = _miss_ratio(fixed._tree, queries, cache_bytes)
+        rows.append(
+            {
+                "param": param,
+                "fiting_tree_kb": round(fit_bytes / 1024, 1),
+                "fiting_miss_ratio": round(fit_miss, 4),
+                "fixed_tree_kb": round(fix_bytes / 1024, 1),
+                "fixed_miss_ratio": round(fix_miss, 4),
+            }
+        )
+    worst_gap = max(r["fixed_miss_ratio"] - r["fiting_miss_ratio"] for r in rows)
+    notes = [
+        f"cache: {cache_kb} KB, 8-way LRU, 64 B lines; traces replay real "
+        f"descent addresses",
+        f"max miss-ratio gap (fixed - fiting): {worst_gap:.3f} — the "
+        f"mechanism of Figure 6's fixed-index spike: the bigger tree falls "
+        f"out of cache, the data-aware one stays resident.",
+    ]
+    return ExperimentResult(
+        name="abl_cachesim",
+        title="Ablation: trace-driven cache simulation of tree descents",
+        rows=rows,
+        notes=notes,
+        params={"n": n, "cache_kb": cache_kb, "dataset": dataset},
+    )

@@ -1,0 +1,67 @@
+"""Figure 11: data-size scalability of lookup latency.
+
+Paper setup: Weblogs scaled by powers of two while preserving the trends
+(our generator does this naturally), error = fixed page size = 100. Shape
+to reproduce: the three tree-based structures scale like ``log_b`` (nearly
+flat), binary search like ``log_2`` (steepest growth), and the FITing-Tree
+hugs the full index while staying orders of magnitude smaller — the paper
+additionally notes the full/fixed indexes simply stop fitting in memory at
+scale factor 32, which manifests here as their index size exploding
+relative to the FITing-Tree's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import (
+    ExperimentResult,
+    build_all_indexes,
+    register_experiment,
+)
+from repro.datasets import get
+from repro.memsim import LatencyModel
+from repro.workloads import run_lookups, uniform_lookups
+
+
+@register_experiment("fig11")
+def fig11(
+    n: int = 40_000,
+    seed: int = 0,
+    n_queries: int = 5_000,
+    scale_factors: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    error: int = 100,
+    dataset: str = "weblogs",
+) -> ExperimentResult:
+    model = LatencyModel()
+    rows = []
+    series = {name: [] for name in ("fiting", "fixed", "full", "binary")}
+    for sf in scale_factors:
+        keys = get(dataset, n=n * sf, seed=seed)
+        queries = uniform_lookups(keys, n_queries, seed=seed + sf)
+        indexes = build_all_indexes(keys, error=error, page_size=error)
+        row = {"scale": sf, "n": n * sf}
+        for structure, index in indexes.items():
+            res = run_lookups(index, queries, latency_model=model, use_bulk=True)
+            row[f"{structure}_ns"] = round(res.modeled_ns_per_op, 1)
+            series[structure].append(res.modeled_ns_per_op)
+            if structure in ("fiting", "full"):
+                row[f"{structure}_kb"] = round(index.model_bytes() / 1024.0, 1)
+        rows.append(row)
+
+    def growth(name: str) -> float:
+        return series[name][-1] / series[name][0]
+
+    notes = [
+        f"latency growth x{scale_factors[-1]} data: "
+        + ", ".join(f"{s} {growth(s):.2f}x" for s in series),
+        "expected shape: binary grows fastest (log2 n); tree-based nearly "
+        "flat; fiting tracks full at a fraction of the size.",
+    ]
+    return ExperimentResult(
+        name="fig11",
+        title="Lookup latency vs data scale",
+        rows=rows,
+        notes=notes,
+        params={"base_n": n, "error": error, "dataset": dataset},
+    )

@@ -1,0 +1,233 @@
+"""Remaining experiments: Figure 1, Appendix A.3, and two ablations.
+
+* ``fig1`` — the IoT key-to-position staircase (printed as a table of
+  hourly positions: the day/night/weekend regimes are visible as rate
+  changes per hour).
+* ``a3`` — the adversarial input on which ShrinkingCone produces ``N + 2``
+  segments while the optimum needs O(1): the greedy/optimal ratio must grow
+  linearly in ``N``.
+* ``abl_cone`` — paper's in-cone accept test vs our exact intersection
+  test: segments saved by the exact test, at identical error guarantees.
+* ``abl_branching`` — B+ tree fanout sweep: the cost model's ``log_b``
+  tree term in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, register_experiment
+from repro.core.fiting_tree import FITingTree
+from repro.core.optimal import optimal_segment_count
+from repro.core.segmentation import shrinking_cone
+from repro.datasets import adversarial_keys, get
+from repro.memsim import LatencyModel
+from repro.workloads import run_lookups, uniform_lookups
+
+
+@register_experiment("fig1")
+def fig1(
+    n: int = 100_000,
+    seed: int = 0,
+    hours: int = 72,
+    errors: Sequence[int] = (100, 1000),
+) -> ExperimentResult:
+    """IoT timestamp -> position mapping (the staircase of Figure 1)."""
+    keys = get("iot", n=n, seed=seed)
+    rows = []
+    for h in range(hours):
+        t = h * 3600.0
+        pos = int(np.searchsorted(keys, t))
+        next_pos = int(np.searchsorted(keys, t + 3600.0))
+        rows.append(
+            {
+                "hour": h,
+                "day": h // 24,
+                "hour_of_day": h % 24,
+                "position": pos,
+                "events_this_hour": next_pos - pos,
+            }
+        )
+    seg_counts = {e: len(shrinking_cone(keys, e)) for e in errors}
+    notes = [
+        "positions step steeply during working hours and stall at night — "
+        "the regimes the segmentation exploits (paper Figure 1).",
+        "segments needed: "
+        + ", ".join(f"error={e}: {c}" for e, c in seg_counts.items()),
+    ]
+    return ExperimentResult(
+        name="fig1",
+        title="IoT key->position staircase (first 3 days)",
+        rows=rows,
+        notes=notes,
+        params={"n": n, "seed": seed},
+    )
+
+
+@register_experiment("a3")
+def a3(
+    n: int = 0,  # unused; kept for harness-uniform CLI
+    seed: int = 0,
+    error: int = 100,
+    pattern_counts: Sequence[int] = (10, 50, 200, 1000),
+) -> ExperimentResult:
+    """Appendix A.3: greedy is non-competitive on the constructed input."""
+    del n, seed
+    rows = []
+    ratios = []
+    for n_patterns in pattern_counts:
+        keys = adversarial_keys(n_patterns, error)
+        greedy = len(shrinking_cone(keys, error))
+        optimal = optimal_segment_count(keys, error)
+        ratios.append(greedy / optimal)
+        rows.append(
+            {
+                "patterns_N": n_patterns,
+                "elements": len(keys),
+                "greedy": greedy,
+                "greedy_expected": n_patterns + 2,
+                "optimal": optimal,
+                "ratio": round(greedy / optimal, 1),
+            }
+        )
+    notes = [
+        f"ratio grows {ratios[0]:.0f} -> {ratios[-1]:.0f} with N: greedy is "
+        f"not competitive (paper A.3 proves it can be arbitrarily worse)",
+        "optimal stays O(1) segments regardless of N.",
+    ]
+    return ExperimentResult(
+        name="a3",
+        title="Adversarial input: greedy vs optimal",
+        rows=rows,
+        notes=notes,
+        params={"error": error},
+    )
+
+
+@register_experiment("abl_cone")
+def abl_cone(
+    n: int = 100_000,
+    seed: int = 0,
+    errors: Sequence[int] = (10, 100, 1000),
+    datasets: Sequence[str] = ("weblogs", "iot", "maps", "taxi_drop_lat"),
+) -> ExperimentResult:
+    """Ablation: paper accept test vs exact intersection test."""
+    rows = []
+    savings = []
+    for name in datasets:
+        keys = get(name, n=n, seed=seed)
+        for error in errors:
+            paper = len(shrinking_cone(keys, error, accept="paper"))
+            exact = len(shrinking_cone(keys, error, accept="exact"))
+            saved = 1.0 - exact / paper
+            savings.append(saved)
+            rows.append(
+                {
+                    "dataset": name,
+                    "error": error,
+                    "paper_test": paper,
+                    "exact_test": exact,
+                    "segments_saved": f"{100 * saved:.1f}%",
+                }
+            )
+    notes = [
+        f"exact test saves 0..{100 * max(savings):.1f}% segments at identical "
+        f"error guarantees (the paper's accept test is sufficient but not "
+        f"necessary; see DESIGN.md)",
+    ]
+    return ExperimentResult(
+        name="abl_cone",
+        title="Ablation: cone accept test (paper vs exact)",
+        rows=rows,
+        notes=notes,
+        params={"n": n, "seed": seed},
+    )
+
+
+@register_experiment("abl_search")
+def abl_search(
+    n: int = 200_000,
+    seed: int = 0,
+    errors: Sequence[int] = (8, 64, 512, 4096),
+    dataset: str = "weblogs",
+) -> ExperimentResult:
+    """Ablation: in-segment search strategy (paper Section 4.1.2).
+
+    The paper notes binary search is the default but "for very small error
+    thresholds, linear search can be faster"; exponential search pays for
+    the *actual* prediction miss instead of the worst-case window.
+    """
+    keys = get(dataset, n=n, seed=seed)
+    queries = uniform_lookups(keys, 10_000, seed=seed + 1)
+    rows = []
+    for error in errors:
+        for mode in ("binary", "linear", "exponential"):
+            index = FITingTree(
+                keys, error=error, buffer_capacity=0, search=mode
+            )
+            res = run_lookups(index, queries, use_bulk=True)
+            rows.append(
+                {
+                    "error": error,
+                    "search": mode,
+                    "probes_per_lookup": round(
+                        res.counter.segment_probes / res.ops, 2
+                    ),
+                    "modeled_ns": round(res.modeled_ns_per_op, 1),
+                    "wall_ns": round(res.wall_ns_per_op, 1),
+                    "hit_rate": round(res.hits / res.ops, 3),
+                }
+            )
+    notes = [
+        "expected shape: linear wins only at the smallest errors (paper: "
+        "'for very small error thresholds, linear search can be faster') "
+        "and explodes at large ones; exponential tracks binary within ~2x, "
+        "beating it where predictions are accurate.",
+    ]
+    return ExperimentResult(
+        name="abl_search",
+        title="Ablation: in-segment search strategy",
+        rows=rows,
+        notes=notes,
+        params={"n": n, "dataset": dataset},
+    )
+
+
+@register_experiment("abl_branching")
+def abl_branching(
+    n: int = 200_000,
+    seed: int = 0,
+    error: int = 32,
+    branchings: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    dataset: str = "weblogs",
+) -> ExperimentResult:
+    """Ablation: B+ tree fanout vs modeled lookup latency and size."""
+    keys = get(dataset, n=n, seed=seed)
+    queries = uniform_lookups(keys, 10_000, seed=seed + 1)
+    model = LatencyModel()
+    rows = []
+    for b in branchings:
+        index = FITingTree(keys, error=error, buffer_capacity=0, branching=b)
+        res = run_lookups(index, queries, latency_model=model, use_bulk=True)
+        rows.append(
+            {
+                "branching": b,
+                "height": index.height,
+                "modeled_ns": round(res.modeled_ns_per_op, 1),
+                "size_kb": round(index.model_bytes() / 1024.0, 2),
+            }
+        )
+    notes = [
+        "tree height (the cost model's log_b term) shrinks with fanout; "
+        "beyond the point where the segment tree is a few levels deep, "
+        "extra fanout stops helping.",
+    ]
+    return ExperimentResult(
+        name="abl_branching",
+        title="Ablation: tree fanout",
+        rows=rows,
+        notes=notes,
+        params={"n": n, "error": error, "dataset": dataset},
+    )

@@ -1,0 +1,12 @@
+"""In-memory B+ tree substrate (the STX-tree stand-in from the paper).
+
+Every tree-backed index in this repository — the FITing-Tree itself, the
+dense "Full" baseline, and the sparse "Fixed" baseline — is built on
+:class:`~repro.btree.btree.BPlusTree`, mirroring the paper's requirement
+that the underlying tree implementation be held constant across comparisons.
+"""
+
+from repro.btree.btree import BPlusTree, DEFAULT_BRANCHING
+from repro.btree.node import InnerNode, LeafNode
+
+__all__ = ["BPlusTree", "DEFAULT_BRANCHING", "InnerNode", "LeafNode"]

@@ -1,0 +1,81 @@
+"""Node types for the in-memory B+ tree substrate.
+
+The tree distinguishes inner nodes (separator keys + child pointers) from
+leaf nodes (keys + values + doubly linked leaf chain). Nodes are plain
+Python objects with ``__slots__``; all balancing logic lives in
+:mod:`repro.btree.btree` so the node classes stay dumb containers that are
+easy to validate in tests.
+
+Size accounting follows the model used by the paper's Section 6 cost model:
+8 bytes per key and 8 bytes per pointer/value slot, i.e. 16 bytes per entry,
+ignoring Python object overhead (which would be meaningless to compare with
+the paper's C++ numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+_BYTES_PER_KEY = 8
+_BYTES_PER_POINTER = 8
+
+
+class LeafNode:
+    """A leaf node holding ``keys[i] -> values[i]`` pairs in sorted key order.
+
+    Leaves form a doubly linked chain (``prev_leaf``/``next_leaf``) used for
+    range scans and floor/ceiling queries that cross node boundaries.
+    """
+
+    __slots__ = ("keys", "values", "prev_leaf", "next_leaf")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.prev_leaf: Optional["LeafNode"] = None
+        self.next_leaf: Optional["LeafNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def model_bytes(self) -> int:
+        """Modeled size in bytes: one key + one value pointer per entry."""
+        return len(self.keys) * (_BYTES_PER_KEY + _BYTES_PER_POINTER)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeafNode(n={len(self.keys)}, first={self.keys[0] if self.keys else None})"
+
+
+class InnerNode:
+    """An inner node with ``len(children) == len(keys) + 1``.
+
+    ``keys[i]`` separates ``children[i]`` (keys strictly less than
+    ``keys[i]``) from ``children[i + 1]`` (keys greater than or equal).
+    """
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.children: List[Any] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def model_bytes(self) -> int:
+        """Modeled size in bytes: separator keys plus child pointers."""
+        return (
+            len(self.keys) * _BYTES_PER_KEY
+            + len(self.children) * _BYTES_PER_POINTER
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InnerNode(n={len(self.keys)})"

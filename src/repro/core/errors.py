@@ -1,0 +1,45 @@
+"""Exception hierarchy for the FITing-Tree reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is out of its legal range.
+
+    Raised, for example, for a non-positive error threshold, a buffer size
+    that is not smaller than the error threshold, or a fill factor outside
+    ``(0, 1]``.
+    """
+
+
+class NotSortedError(ReproError, ValueError):
+    """Input keys that must be sorted ascending are not."""
+
+
+class EmptyIndexError(ReproError, KeyError):
+    """An operation that requires a non-empty index was called on an empty one."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A lookup for a key that is not present in the index."""
+
+
+class SegmentationError(ReproError, RuntimeError):
+    """A segmentation algorithm produced an internal inconsistency.
+
+    This indicates a bug in the library (segments that do not cover the
+    input, or that violate the error bound), never bad user input.
+    """
+
+
+class InvariantViolationError(ReproError, AssertionError):
+    """A structural invariant check failed (used by ``validate()`` helpers)."""

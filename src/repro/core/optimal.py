@@ -1,0 +1,326 @@
+"""Optimal segmentation (paper Section 3.2, Algorithm 1) — two variants.
+
+The paper's optimal dynamic program anchors each segment's line at *both*
+endpoints and needs O(n²) time and O(n²) memory (their evaluation hit the
+768 GB RAM of their server at one million elements). We implement:
+
+``optimal_segments`` (free-slope, our improvement)
+    Segments anchored at the origin with a free slope — the same segment
+    definition ShrinkingCone actually uses. For this definition feasibility
+    is *prefix-closed* (shrinking a feasible segment keeps it feasible), so
+
+    * each origin ``j`` has a well-defined maximal reach ``R[j]``
+      (:func:`repro.core.segmentation.cone_reach`),
+    * the minimal number of segments covering a prefix is monotone in the
+      prefix length, hence the optimum satisfies
+      ``T[i] = T[jmin(i)] + 1`` with ``jmin(i)`` the *smallest* origin
+      reaching ``i``.
+
+    This computes an exact optimum in ``O(sum of reaches)`` time and O(n)
+    memory — no feasibility matrix — with an early exit once some origin
+    reaches the end of the array.
+
+``optimal_segments_endpoint`` (paper-faithful)
+    The paper's segment definition: the line runs from the segment's first
+    point to its last point. Feasibility is not prefix-closed here, so the
+    full DP is required; we implement it with streaming per-origin cones in
+    O(n²) time but only O(n) memory (vectorized row updates). Guarded by a
+    size limit because of its quadratic cost.
+
+``optimal_count_bruteforce``
+    An O(n³) direct checker used by the test suite to cross-validate both
+    fast implementations on small inputs.
+
+Free-slope segments are a superset of endpoint-anchored ones, so
+``len(optimal_segments(...)) <= len(optimal_segments_endpoint(...))`` always.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, SegmentationError
+from repro.core.segment import Segment
+from repro.core.segmentation import (
+    _as_sorted_keys,
+    _check_error,
+    _slope_from_cone,
+    cone_reach,
+)
+
+__all__ = [
+    "optimal_segments",
+    "optimal_segment_count",
+    "optimal_segments_endpoint",
+    "optimal_count_bruteforce",
+    "cone_bounds",
+]
+
+_INF = float("inf")
+
+
+def cone_bounds(keys: np.ndarray, start: int, end: int, error: float):
+    """Feasible slope interval ``(lo, hi)`` for the segment ``[start, end)``.
+
+    Raises :class:`SegmentationError` if the segment is infeasible — callers
+    pass only ranges already known to be feasible.
+    """
+    x0 = keys[start]
+    lo, hi = 0.0, _INF
+    if end - start > 1:
+        x = keys[start + 1 : end]
+        d = x - x0
+        y = np.arange(1, end - start, dtype=np.float64)
+        nz = d > 0
+        if not np.all(nz):
+            # Duplicates of the origin: slope-independent constraint.
+            worst = float(np.max(y[~nz]))
+            if worst > error:
+                raise SegmentationError(
+                    f"infeasible duplicate run in [{start}, {end})"
+                )
+        if np.any(nz):
+            s = y[nz] / d[nz]
+            margin = error / d[nz]
+            lo = float(np.max(s - margin))
+            hi = float(np.min(s + margin))
+            lo = max(lo, 0.0)
+    if lo > hi:
+        raise SegmentationError(f"infeasible segment [{start}, {end})")
+    return lo, hi
+
+
+def _segments_from_boundaries(
+    keys: np.ndarray, starts: List[int], error: float
+) -> List[Segment]:
+    n = len(keys)
+    segments: List[Segment] = []
+    bounds = starts + [n]
+    for a, b in zip(bounds, bounds[1:]):
+        lo, hi = cone_bounds(keys, a, b, error)
+        segments.append(Segment(float(keys[a]), a, _slope_from_cone(lo, hi), b - a))
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Free-slope optimum (reach + monotone DP)
+# ----------------------------------------------------------------------
+
+def optimal_segments(keys, error: float, *, chunk: int = 4096) -> List[Segment]:
+    """Minimum-count segmentation under the free-slope segment definition.
+
+    Exact: no segmentation whose segments are anchored at their first point
+    can use fewer segments for this ``error``. See the module docstring for
+    the algorithm; validated against brute force in the tests.
+    """
+    keys = _as_sorted_keys(keys)
+    error = _check_error(error)
+    n = len(keys)
+    if n == 0:
+        return []
+
+    # jmin[i] = smallest origin whose maximal reach covers prefix length i.
+    jmin = np.empty(n + 1, dtype=np.int64)
+    covered = 0
+    for j in range(n):
+        if covered >= n:
+            break
+        if j > covered:
+            raise SegmentationError("reach recurrence gap")  # pragma: no cover
+        reach = cone_reach(keys, j, error, chunk=chunk)
+        if reach > covered:
+            jmin[covered + 1 : reach + 1] = j
+            covered = reach
+
+    # T[i] = min segments covering the first i elements (monotone in i).
+    parent = np.empty(n + 1, dtype=np.int64)
+    parent[0] = -1
+    for i in range(1, n + 1):
+        parent[i] = jmin[i]
+
+    starts: List[int] = []
+    i = n
+    while i > 0:
+        j = int(parent[i])
+        starts.append(j)
+        i = j
+    starts.reverse()
+    return _segments_from_boundaries(keys, starts, error)
+
+
+def optimal_segment_count(keys, error: float, *, chunk: int = 4096) -> int:
+    """Number of segments in the free-slope optimum (cheaper than segments).
+
+    Frontier iteration: let ``f(s)`` be the longest prefix coverable with
+    ``s`` segments. Monotonicity of the optimum makes "prefix j coverable
+    with <= s segments" equivalent to ``j <= f(s)``, so
+    ``f(s+1) = max(R[j] for j <= f(s))`` and each origin's reach is
+    evaluated exactly once.
+    """
+    keys = _as_sorted_keys(keys)
+    error = _check_error(error)
+    n = len(keys)
+    if n == 0:
+        return 0
+    count = 0
+    frontier = 0  # f(count): elements covered so far
+    best = 0  # running max reach over all origins evaluated
+    j = 0
+    while frontier < n:
+        while j <= frontier and best < n:
+            reach = cone_reach(keys, j, error, chunk=chunk)
+            if reach > best:
+                best = reach
+            j += 1
+        if best <= frontier:
+            raise SegmentationError("frontier failed to advance")  # pragma: no cover
+        count += 1
+        frontier = best
+    return count
+
+
+# ----------------------------------------------------------------------
+# Endpoint-anchored optimum (paper Algorithm 1, streaming cones)
+# ----------------------------------------------------------------------
+
+def optimal_segments_endpoint(
+    keys,
+    error: float,
+    *,
+    max_n: int = 30_000,
+) -> List[Segment]:
+    """Paper-faithful optimal DP: segments run point-to-point.
+
+    ``T[k]`` is the minimal number of segments covering the first ``k``
+    elements; segment ``[j, k]`` is feasible iff the slope of the line from
+    element ``j`` to element ``k`` lies in origin ``j``'s cone over the
+    interior elements. Cones are updated in a streaming fashion, one numpy
+    row per step, so memory stays O(n) (the paper's formulation stores an
+    O(n²) matrix).
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``len(keys) > max_n`` — the DP is quadratic; raise the limit
+        explicitly if you accept the cost.
+    """
+    keys = _as_sorted_keys(keys)
+    error = _check_error(error)
+    n = len(keys)
+    if n == 0:
+        return []
+    if n > max_n:
+        raise InvalidParameterError(
+            f"endpoint-optimal DP is O(n^2); n={n} exceeds max_n={max_n} "
+            f"(pass a larger max_n to override)"
+        )
+
+    x = keys
+    T = np.full(n + 1, np.inf)
+    T[0] = 0.0
+    T[1] = 1.0
+    parent = np.full(n + 1, -1, dtype=np.int64)
+    parent[1] = 0
+    lo_cone = np.zeros(n)
+    hi_cone = np.full(n, _INF)
+
+    idx = np.arange(n, dtype=np.float64)
+    for k in range(1, n):
+        d = x[k] - x[:k]
+        rise = k - idx[:k]
+        pos = d > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            s = np.where(pos, rise / d, _INF)
+        feas = pos & (s >= lo_cone[:k]) & (s <= hi_cone[:k])
+        # Segments made entirely of one repeated key: slope-0 line is exact
+        # at the shared key, feasible while the run stays within ``error``.
+        feas |= (~pos) & (rise <= error)
+
+        best = T[k]  # singleton segment [k, k]
+        best_j = k
+        if feas.any():
+            cand = np.where(feas, T[:k], np.inf)
+            j_star = int(np.argmin(cand))
+            if cand[j_star] < best:
+                best = cand[j_star]
+                best_j = j_star
+        T[k + 1] = best + 1.0
+        parent[k + 1] = best_j
+
+        # Fold element k into every origin's cone (it is interior for any
+        # segment that ends strictly beyond k).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lo_cand = np.where(pos, (rise - error) / d, lo_cone[:k])
+            hi_cand = np.where(pos, (rise + error) / d, hi_cone[:k])
+        dead = (~pos) & (rise > error)
+        lo_cone[:k] = np.where(dead, _INF, np.maximum(lo_cone[:k], lo_cand))
+        hi_cone[:k] = np.minimum(hi_cone[:k], hi_cand)
+
+    starts: List[int] = []
+    i = n
+    while i > 0:
+        j = int(parent[i])
+        starts.append(j)
+        i = j
+    starts.reverse()
+
+    segments: List[Segment] = []
+    bounds = starts + [n]
+    for a, b in zip(bounds, bounds[1:]):
+        span = x[b - 1] - x[a]
+        slope = (b - 1 - a) / span if span > 0 else 0.0
+        segments.append(Segment(float(x[a]), a, float(slope), b - a))
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Brute force cross-validation (tests only; O(n^3))
+# ----------------------------------------------------------------------
+
+def _feasible_free(x: np.ndarray, j: int, last: int, error: float) -> bool:
+    lo, hi = 0.0, _INF
+    for k in range(j + 1, last + 1):
+        d = x[k] - x[j]
+        y = float(k - j)
+        if d == 0:
+            if y > error:
+                return False
+            continue
+        lo = max(lo, (y - error) / d)
+        hi = min(hi, (y + error) / d)
+        if lo > hi:
+            return False
+    return True
+
+
+def _feasible_endpoint(x: np.ndarray, j: int, last: int, error: float) -> bool:
+    d = x[last] - x[j]
+    if d == 0:
+        return (last - j) <= error
+    slope = (last - j) / d
+    for k in range(j + 1, last):
+        predicted = slope * (x[k] - x[j])
+        if abs(predicted - (k - j)) > error:
+            return False
+    return True
+
+
+def optimal_count_bruteforce(
+    keys, error: float, anchor: Literal["free", "endpoint"] = "free"
+) -> int:
+    """Direct O(n³) optimal segment count for tiny inputs (test oracle)."""
+    x = _as_sorted_keys(keys)
+    error = _check_error(error)
+    n = len(x)
+    if n == 0:
+        return 0
+    feasible = _feasible_free if anchor == "free" else _feasible_endpoint
+    T = [0] + [n + 1] * n
+    for i in range(1, n + 1):
+        last = i - 1
+        for j in range(i - 1, -1, -1):
+            if T[j] + 1 < T[i] and feasible(x, j, last, error):
+                T[i] = T[j] + 1
+    return T[n]

@@ -1,0 +1,373 @@
+"""SegmentPage: the mutable table page behind one FITing-Tree segment.
+
+A clustered FITing-Tree stores one :class:`SegmentPage` per segment: the
+sorted key slice (plus aligned values), the fitted slope for interpolation
+search, and the paper's fixed-size sorted insert buffer (Section 5). The
+page enforces the bounded-search contract:
+
+* lookups probe only ``[predicted - e, predicted + e]`` in the data array
+  (``e`` = segmentation error, widened by 1 per physical deletion — see
+  ``FITingTree.delete``) plus the whole buffer;
+* inserts go to the buffer; the owning index merges and re-segments when
+  the buffer reaches capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, InvariantViolationError
+
+__all__ = ["SegmentPage"]
+
+
+class SegmentPage:
+    """One variable-sized table page: sorted data + sorted insert buffer."""
+
+    __slots__ = (
+        "start_key",
+        "slope",
+        "keys",
+        "values",
+        "buf_keys",
+        "buf_values",
+        "deletions",
+    )
+
+    def __init__(
+        self,
+        start_key: float,
+        slope: float,
+        keys: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self.start_key = float(start_key)
+        self.slope = float(slope)
+        self.keys = keys
+        self.values = values
+        self.buf_keys: List[float] = []
+        self.buf_values: List[Any] = []
+        #: Physical deletions from ``keys`` since the last (re)build. Each
+        #: one can shift later elements one slot from their predicted
+        #: position, so the search window is widened accordingly.
+        self.deletions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_data(self) -> int:
+        return len(self.keys)
+
+    @property
+    def n_buffer(self) -> int:
+        return len(self.buf_keys)
+
+    @property
+    def n_total(self) -> int:
+        return len(self.keys) + len(self.buf_keys)
+
+    def min_key(self) -> float:
+        """Smallest key on the page (data or buffer)."""
+        candidates = []
+        if len(self.keys):
+            candidates.append(float(self.keys[0]))
+        if self.buf_keys:
+            candidates.append(self.buf_keys[0])
+        return min(candidates)
+
+    def max_key(self) -> float:
+        """Largest key on the page (data or buffer)."""
+        candidates = []
+        if len(self.keys):
+            candidates.append(float(self.keys[-1]))
+        if self.buf_keys:
+            candidates.append(self.buf_keys[-1])
+        return max(candidates)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def window(self, key: float, search_error: float) -> Tuple[int, int]:
+        """The ``[lo, hi)`` data-array range interpolation search may probe."""
+        n = len(self.keys)
+        if n == 0:
+            return 0, 0
+        if math.isinf(search_error):
+            return 0, n  # fixed-page mode: binary-search the whole page
+        err = search_error + self.deletions
+        predicted = (key - self.start_key) * self.slope
+        lo = int(max(0.0, math.floor(predicted - err)))
+        hi = int(min(n, math.ceil(predicted + err) + 1))
+        if lo >= hi:  # prediction clamped entirely outside the array
+            if predicted < 0:
+                lo, hi = 0, min(n, 1)
+            else:
+                lo, hi = max(0, n - 1), n
+        return lo, hi
+
+    def find_in_data(
+        self,
+        key: float,
+        search_error: float,
+        counter: Any = None,
+        mode: str = "binary",
+    ) -> int:
+        """Index of the first occurrence of ``key`` in the data slice, or -1.
+
+        Probes only the interpolation window; correctness relies on the
+        segmentation error bound (every occurrence lies inside the window).
+
+        ``mode`` selects the local search strategy (paper Section 4.1.2:
+        "it is possible to utilize any well-known search algorithm,
+        including linear search, binary search, or exponential search"):
+
+        * ``"binary"`` — binary search over the window (the paper's default);
+        * ``"linear"`` — scan outward from the predicted position; cheaper
+          than binary for very small errors (the paper's remark);
+        * ``"exponential"`` — gallop from the predicted position, then
+          binary-search the bracket; probes scale with the *actual*
+          prediction miss rather than the worst-case window.
+        """
+        if mode == "binary":
+            lo, hi = self.window(key, search_error)
+            if counter is not None:
+                counter.segment_binary_search(hi - lo)
+            i = lo + int(np.searchsorted(self.keys[lo:hi], key, side="left"))
+            if i < hi and self.keys[i] == key:
+                return i
+            return -1
+        if mode == "linear":
+            return self._find_linear(key, search_error, counter)
+        if mode == "exponential":
+            return self._find_exponential(key, search_error, counter)
+        raise InvalidParameterError(
+            f"unknown search mode {mode!r}; use binary | linear | exponential"
+        )
+
+    def _start_probe(self, key: float, search_error: float) -> Tuple[int, int, int]:
+        """Clamped predicted index plus the window it must stay within."""
+        lo, hi = self.window(key, search_error)
+        if lo >= hi:
+            return lo, hi, lo
+        predicted = (key - self.start_key) * self.slope
+        start = int(round(predicted))
+        return lo, hi, min(max(start, lo), hi - 1)
+
+    def _first_occurrence(self, i: int, key: float, probes: int, counter: Any) -> int:
+        while i > 0 and self.keys[i - 1] == key:
+            i -= 1
+            probes += 1
+        if counter is not None:
+            counter.segment_probe(probes)
+        return i
+
+    def _find_linear(self, key: float, search_error: float, counter: Any) -> int:
+        lo, hi, i = self._start_probe(key, search_error)
+        if lo >= hi:
+            return -1
+        probes = 1
+        keys = self.keys
+        if keys[i] < key:
+            while keys[i] < key:
+                i += 1
+                probes += 1
+                if i >= hi:
+                    self._count_probes(probes, counter)
+                    return -1
+        else:
+            while i > lo and keys[i - 1] >= key:
+                i -= 1
+                probes += 1
+        if keys[i] == key:
+            return self._first_occurrence(i, key, probes, counter)
+        self._count_probes(probes, counter)
+        return -1
+
+    def _find_exponential(
+        self, key: float, search_error: float, counter: Any
+    ) -> int:
+        lo, hi, start = self._start_probe(key, search_error)
+        if lo >= hi:
+            return -1
+        keys = self.keys
+        probes = 1
+        if keys[start] == key:
+            return self._first_occurrence(start, key, probes, counter)
+        if keys[start] < key:
+            # Gallop right: bracket (start + step/2, start + step].
+            step = 1
+            while start + step < hi and keys[start + step] < key:
+                probes += 1
+                step *= 2
+            bracket_lo = start + step // 2 + 1
+            bracket_hi = min(start + step + 1, hi)
+        else:
+            step = 1
+            while start - step >= lo and keys[start - step] > key:
+                probes += 1
+                step *= 2
+            bracket_lo = max(start - step, lo)
+            bracket_hi = start - step // 2
+        if counter is not None:
+            counter.segment_probe(probes)
+            counter.segment_binary_search(max(0, bracket_hi - bracket_lo))
+        i = bracket_lo + int(
+            np.searchsorted(keys[bracket_lo:bracket_hi], key, side="left")
+        )
+        if i < bracket_hi and keys[i] == key:
+            return self._first_occurrence(i, key, 0, counter)
+        return -1
+
+    @staticmethod
+    def _count_probes(probes: int, counter: Any) -> None:
+        if counter is not None:
+            counter.segment_probe(probes)
+
+    def find_in_buffer(self, key: float, counter: Any = None) -> int:
+        """Index of the first occurrence of ``key`` in the buffer, or -1."""
+        if counter is not None:
+            counter.buffer_binary_search(len(self.buf_keys))
+        i = bisect_left(self.buf_keys, key)
+        if i < len(self.buf_keys) and self.buf_keys[i] == key:
+            return i
+        return -1
+
+    def get(
+        self,
+        key: float,
+        search_error: float,
+        counter: Any = None,
+        default: Any = None,
+        mode: str = "binary",
+    ) -> Any:
+        """Value of the first occurrence of ``key`` on this page."""
+        i = self.find_in_data(key, search_error, counter, mode)
+        if i >= 0:
+            return self.values[i]
+        j = self.find_in_buffer(key, counter)
+        if j >= 0:
+            return self.buf_values[j]
+        return default
+
+    def collect_matches(
+        self, key: float, search_error: float, out: List[Any]
+    ) -> None:
+        """Append the values of *every* occurrence of ``key`` to ``out``."""
+        i = self.find_in_data(key, search_error)
+        if i >= 0:
+            n = len(self.keys)
+            while i < n and self.keys[i] == key:
+                out.append(self.values[i])
+                i += 1
+        j = self.find_in_buffer(key)
+        if j >= 0:
+            while j < len(self.buf_keys) and self.buf_keys[j] == key:
+                out.append(self.buf_values[j])
+                j += 1
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert_into_buffer(self, key: float, value: Any, counter: Any = None) -> None:
+        """Insert ``key -> value`` into the sorted buffer (paper Section 5)."""
+        i = bisect_left(self.buf_keys, key)
+        if counter is not None:
+            counter.buffer_binary_search(len(self.buf_keys))
+            counter.data_move(len(self.buf_keys) - i)
+        self.buf_keys.insert(i, key)
+        self.buf_values.insert(i, value)
+
+    def delete_at_data(self, i: int) -> Any:
+        """Physically remove data element ``i``; widens future windows by 1."""
+        value = self.values[i]
+        self.keys = np.delete(self.keys, i)
+        self.values = np.delete(self.values, i)
+        self.deletions += 1
+        return value
+
+    def delete_at_buffer(self, i: int) -> Any:
+        value = self.buf_values[i]
+        del self.buf_keys[i]
+        del self.buf_values[i]
+        return value
+
+    def merged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Data and buffer merged into one sorted (keys, values) pair."""
+        if not self.buf_keys:
+            return self.keys, self.values
+        buf_k = np.asarray(self.buf_keys, dtype=self.keys.dtype)
+        positions = np.searchsorted(self.keys, buf_k, side="left")
+        merged_keys = np.insert(self.keys, positions, buf_k)
+        buf_v = np.asarray(self.buf_values, dtype=self.values.dtype)
+        merged_values = np.insert(self.values, positions, buf_v)
+        return merged_keys, merged_values
+
+    # ------------------------------------------------------------------
+    # Iteration and validation
+    # ------------------------------------------------------------------
+
+    def iter_items(
+        self, lo: Optional[float] = None
+    ) -> Iterator[Tuple[float, Any]]:
+        """Yield ``(key, value)`` pairs of data+buffer in sorted key order.
+
+        With ``lo`` set, iteration starts at the first key ``>= lo`` (the
+        skip uses binary search, so range scans do not pay for the part of
+        the page below the range).
+        """
+        nd, nb = len(self.keys), len(self.buf_keys)
+        if lo is None:
+            di, bi = 0, 0
+        else:
+            di = int(np.searchsorted(self.keys, lo, side="left"))
+            bi = bisect_left(self.buf_keys, lo)
+        while di < nd and bi < nb:
+            if self.keys[di] <= self.buf_keys[bi]:
+                yield float(self.keys[di]), self.values[di]
+                di += 1
+            else:
+                yield self.buf_keys[bi], self.buf_values[bi]
+                bi += 1
+        while di < nd:
+            yield float(self.keys[di]), self.values[di]
+            di += 1
+        while bi < nb:
+            yield self.buf_keys[bi], self.buf_values[bi]
+            bi += 1
+
+    def validate(self, search_error: float, buffer_capacity: int) -> None:
+        """Check page invariants; raise :class:`InvariantViolationError`."""
+        if len(self.keys) != len(self.values):
+            raise InvariantViolationError("keys/values length mismatch")
+        if len(self.buf_keys) != len(self.buf_values):
+            raise InvariantViolationError("buffer keys/values length mismatch")
+        if len(self.keys) and np.any(np.diff(self.keys) < 0):
+            raise InvariantViolationError("page data not sorted")
+        if any(a > b for a, b in zip(self.buf_keys, self.buf_keys[1:])):
+            raise InvariantViolationError("page buffer not sorted")
+        if buffer_capacity and len(self.buf_keys) >= buffer_capacity:
+            raise InvariantViolationError("buffer at/over capacity")
+        if len(self.keys):
+            predicted = (self.keys - self.start_key) * self.slope
+            deviation = float(
+                np.max(np.abs(predicted - np.arange(len(self.keys))))
+            )
+            allowed = search_error + self.deletions + 1e-6
+            if deviation > allowed:
+                raise InvariantViolationError(
+                    f"page deviation {deviation} exceeds {allowed}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegmentPage(start={self.start_key}, n={self.n_data}, "
+            f"buf={self.n_buffer}, slope={self.slope:.4g})"
+        )

@@ -1,0 +1,518 @@
+"""Shared machinery for paged indexes (FITing-Tree and the Fixed baseline).
+
+Both the FITing-Tree and the paper's fixed-size-page baseline are *sparse*
+indexes: a B+ tree maps the first key of each page to a page holding sorted
+data plus a bounded sorted insert buffer. They differ only in
+
+* how pages are cut from sorted data (error-bounded segmentation vs fixed
+  chunks) — the :meth:`PagedIndexBase._make_pages` hook;
+* how a page is searched (interpolation + bounded window vs full binary
+  search) — the :attr:`PagedIndexBase.page_search_error` attribute
+  (``inf`` means "binary-search the whole page");
+* per-page metadata charged by the size model (24 B of start/slope/pointer
+  for a FITing segment, nothing extra for a fixed page).
+
+Keeping one implementation here preserves the paper's fairness argument —
+identical tree substrate, buffering, routing and split plumbing across the
+compared indexes — and keeps the subclasses tiny.
+
+Segment tree keys are ``(start_key, seq)`` pairs: the ``seq`` float breaks
+ties between pages sharing a start key (split duplicate runs) and leaves
+room to splice in pages created by later re-segmentations without touching
+neighbours.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.btree import BPlusTree, DEFAULT_BRANCHING
+from repro.core.errors import (
+    InvalidParameterError,
+    KeyNotFoundError,
+    NotSortedError,
+)
+from repro.core.page import SegmentPage
+
+__all__ = ["PagedIndexBase"]
+
+_INF = math.inf
+#: Seq-number spacing used at bulk load / renumbering.
+_SEQ_SPACING = 1024.0
+
+
+class PagedIndexBase:
+    """Common base: B+ tree over ``(start_key, seq) -> SegmentPage``.
+
+    Subclasses must set, before calling ``super().__init__``:
+
+    * ``buffer_capacity`` (int, >= 0; 0 means read-only),
+    * ``page_search_error`` (float; ``inf`` = binary-search whole page),
+    * ``metadata_bytes_per_page`` (int, added to ``model_bytes`` per page),
+
+    and implement ``_make_pages(keys, values) -> list[SegmentPage]``.
+    """
+
+    buffer_capacity: int
+    page_search_error: float
+    metadata_bytes_per_page: int
+
+    #: Local search strategy inside pages: binary | linear | exponential
+    #: (paper Section 4.1.2). Subclasses may override before super().__init__.
+    search_mode: str = "binary"
+
+    def __init__(
+        self,
+        keys=None,
+        values=None,
+        *,
+        branching: int = DEFAULT_BRANCHING,
+        fill: float = 1.0,
+        counter: Any = None,
+    ) -> None:
+        self.counter = counter
+        self._tree = BPlusTree(branching=branching, counter=counter)
+        self._fill = fill
+        self._n = 0
+        self._dirty = True  # directory cache for bulk_lookup needs rebuild
+        self._directory: Optional[Tuple[np.ndarray, List[SegmentPage]]] = None
+
+        if keys is None:
+            keys = np.empty(0, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.size > 1 and np.any(np.diff(keys) < 0):
+            raise NotSortedError("build keys must be sorted ascending")
+
+        self._auto_rowid = values is None
+        if values is None:
+            values = np.arange(len(keys), dtype=np.int64)
+        else:
+            values = np.asarray(values)
+            if len(values) != len(keys):
+                raise InvalidParameterError(
+                    f"values length {len(values)} != keys length {len(keys)}"
+                )
+        self._values_dtype = values.dtype if len(values) else np.dtype(np.int64)
+        self._next_rowid = len(keys)
+        self._build(keys, values)
+
+    # -- subclass hook --------------------------------------------------
+
+    def _make_pages(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> List[SegmentPage]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def _build(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._n = len(keys)
+        if self._n == 0:
+            return
+        pages = self._make_pages(keys, values)
+        pairs = [
+            ((page.start_key, i * _SEQ_SPACING), page)
+            for i, page in enumerate(pages)
+        ]
+        self._tree.bulk_load(pairs, fill=self._fill)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._tree)
+
+    @property
+    def height(self) -> int:
+        return self._tree.height
+
+    def model_bytes(self) -> int:
+        """Modeled index size: B+ tree bytes + per-page metadata.
+
+        Table data itself is not index overhead and is excluded, matching
+        the paper's Figure 6 size axis.
+        """
+        return self._tree.model_bytes() + self.metadata_bytes_per_page * self.n_pages
+
+    def pages(self) -> Iterator[SegmentPage]:
+        for _, page in self._tree.items():
+            yield page
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary statistics used by benchmarks and examples."""
+        buffered = sum(page.n_buffer for page in self.pages())
+        return {
+            "n": self._n,
+            "n_pages": self.n_pages,
+            "height": self.height,
+            "model_bytes": self.model_bytes(),
+            "buffer_capacity": self.buffer_capacity,
+            "buffered_elements": buffered,
+            "avg_page_len": (self._n / self.n_pages) if self.n_pages else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _page_for(
+        self, key: float
+    ) -> Optional[Tuple[Tuple[float, float], SegmentPage]]:
+        """Tree entry of the page that owns ``key`` (the tree-search step)."""
+        if len(self._tree) == 0:
+            return None
+        item = self._tree.floor_item((key, _INF))
+        if item is None:
+            # Key precedes every page: the first page owns it (inserted
+            # under-min keys are buffered there too).
+            item = self._tree.min_item()
+        return item
+
+    def get(self, key: float, default: Any = None) -> Any:
+        """Return a value stored under ``key`` or ``default`` if absent.
+
+        With duplicate keys any one occurrence's value is returned; use
+        :meth:`lookup_all` for the complete set.
+        """
+        if self.counter is not None:
+            self.counter.op()
+        item = self._page_for(float(key))
+        if item is None:
+            return default
+        return item[1].get(
+            float(key), self.page_search_error, self.counter, default,
+            self.search_mode,
+        )
+
+    def __contains__(self, key: float) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __getitem__(self, key: float) -> Any:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyNotFoundError(key)
+        return value
+
+    def _pages_possibly_containing(
+        self, key: float
+    ) -> Iterator[Tuple[Tuple[float, float], SegmentPage]]:
+        """Candidate pages for ``key``: floor page first, then preceding
+        pages of a split duplicate run (start == key), plus one page before."""
+        item = self._page_for(key)
+        if item is None:
+            return
+        yield item
+        tree_key = item[0]
+        while True:
+            prev = self._tree.lower_item(tree_key)
+            if prev is None:
+                return
+            yield prev
+            if prev[0][0] != key:
+                return  # one page with start < key is enough
+            tree_key = prev[0]
+
+    def lookup_all(self, key: float) -> List[Any]:
+        """Values of every occurrence of ``key`` (empty list if absent)."""
+        key = float(key)
+        if self.counter is not None:
+            self.counter.op()
+        out: List[Any] = []
+        for _, page in self._pages_possibly_containing(key):
+            matches: List[Any] = []
+            page.collect_matches(key, self.page_search_error, matches)
+            out = matches + out  # pages are visited back-to-front
+        return out
+
+    def bulk_lookup(self, queries, default: Any = None) -> List[Any]:
+        """Vectorized point lookups: one value (or ``default``) per query.
+
+        Routes all queries through a flat page directory with a single
+        ``searchsorted`` instead of per-query tree descents. Results match
+        :meth:`get` exactly; modeled access counts are still recorded
+        (tree descents are charged at the tree's height).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if len(self._tree) == 0:
+            return [default] * len(queries)
+        starts, pages = self._get_directory()
+        page_idx = np.searchsorted(starts, queries, side="right") - 1
+        np.clip(page_idx, 0, len(pages) - 1, out=page_idx)
+        out: List[Any] = []
+        counter = self.counter
+        height = self._tree.height
+        for q, pi in zip(queries, page_idx):
+            page = pages[pi]
+            if counter is not None:
+                counter.op()
+                counter.tree_nodes += height
+            out.append(
+                page.get(
+                    float(q), self.page_search_error, counter, default,
+                    self.search_mode,
+                )
+            )
+        return out
+
+    def _get_directory(self) -> Tuple[np.ndarray, List[SegmentPage]]:
+        if self._dirty or self._directory is None:
+            pages: List[SegmentPage] = []
+            starts: List[float] = []
+            for (start, _), page in self._tree.items():
+                starts.append(start)
+                pages.append(page)
+            self._directory = (np.asarray(starts, dtype=np.float64), pages)
+            self._dirty = False
+        return self._directory
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+
+    def range_items(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[Tuple[float, Any]]:
+        """Yield ``(key, value)`` with ``lo <= key <= hi`` in key order.
+
+        Implements the paper's range strategy: locate the start with a
+        point lookup, then scan sequentially across pages (Section 4.2).
+        """
+        if self.counter is not None:
+            self.counter.op()
+        if len(self._tree) == 0:
+            return
+        if lo is None:
+            page_iter = self._tree.items()
+        else:
+            page_iter = self._tree.items_from_floor((float(lo), -_INF))
+        for _, page in page_iter:
+            for key, value in page.iter_items(lo):
+                if lo is not None:
+                    if key < lo or (not include_lo and key == lo):
+                        continue
+                if hi is not None:
+                    if key > hi or (not include_hi and key == hi):
+                        return
+                yield key, value
+
+    def items(self) -> Iterator[Tuple[float, Any]]:
+        """Every ``(key, value)`` pair in ascending key order."""
+        for _, page in self._tree.items():
+            yield from page.iter_items()
+
+    def keys(self) -> Iterator[float]:
+        for k, _ in self.items():
+            yield k
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+
+    def _resolve_value(self, value: Any) -> Any:
+        if value is not None:
+            return value
+        if self._auto_rowid:
+            rowid = self._next_rowid
+            self._next_rowid += 1
+            return rowid
+        if self._values_dtype == np.dtype(object):
+            return None
+        raise InvalidParameterError(
+            "this index stores typed values; insert(key, value) requires "
+            "an explicit value"
+        )
+
+    def _check_writable(self) -> None:
+        if self.buffer_capacity == 0:
+            raise InvalidParameterError(
+                "index built with buffer_capacity=0 is read-only"
+            )
+
+    def insert(self, key: float, value: Any = None) -> None:
+        """Insert ``key -> value`` (buffered; may trigger a page rebuild)."""
+        self._check_writable()
+        key = float(key)
+        value = self._resolve_value(value)
+        if self.counter is not None:
+            self.counter.op()
+        if len(self._tree) == 0:
+            page = SegmentPage(
+                key,
+                0.0,
+                np.asarray([key], dtype=np.float64),
+                np.asarray([value], dtype=self._values_dtype),
+            )
+            self._tree.insert((key, 0.0), page)
+            self._n = 1
+            self._dirty = True
+            return
+        tree_key, page = self._page_for(key)  # type: ignore[misc]
+        page.insert_into_buffer(key, value, self.counter)
+        self._n += 1
+        if page.n_buffer >= self.buffer_capacity:
+            self._rebuild_page(tree_key, page)
+
+    def _rebuild_page(
+        self, tree_key: Tuple[float, float], page: SegmentPage
+    ) -> None:
+        """Merge a page's buffer and re-partition it (Algorithm 4, l. 5-9)."""
+        merged_keys, merged_values = page.merged_arrays()
+        if self.counter is not None:
+            self.counter.split()
+            self.counter.data_move(len(merged_keys))
+        if len(merged_keys) == 0:
+            self._tree.delete(tree_key)
+            self._dirty = True
+            return
+        new_pages = self._make_pages(merged_keys, merged_values)
+        self._replace_page(tree_key, new_pages)
+
+    def _replace_page(
+        self, tree_key: Tuple[float, float], new_pages: List[SegmentPage]
+    ) -> None:
+        succ = self._tree.higher_item(tree_key)
+        self._tree.delete(tree_key)
+        self._dirty = True
+        if not new_pages:
+            return
+        base_seq = tree_key[1]
+        if succ is None:
+            step = _SEQ_SPACING
+        else:
+            step = (succ[0][1] - base_seq) / (len(new_pages) + 1)
+            if step <= 1e-9:
+                seq_of = self._renumber()
+                succ_seq = seq_of[id(succ[1])]
+                base_seq = succ_seq - _SEQ_SPACING
+                step = _SEQ_SPACING / (len(new_pages) + 1)
+        for i, page in enumerate(new_pages):
+            seq = base_seq if i == 0 else base_seq + i * step
+            self._tree.insert((page.start_key, seq), page)
+
+    def _renumber(self) -> Dict[int, float]:
+        """Re-space all page seq numbers; returns ``id(page) -> seq``."""
+        items = list(self._tree.items())
+        self._tree.clear()
+        seq_of: Dict[int, float] = {}
+        pairs = []
+        for i, ((start, _), page) in enumerate(items):
+            seq = i * _SEQ_SPACING
+            seq_of[id(page)] = seq
+            pairs.append(((start, seq), page))
+        self._tree.bulk_load(pairs, fill=self._fill)
+        self._dirty = True
+        return seq_of
+
+    # ------------------------------------------------------------------
+    # Deletes (extension; the paper does not cover deletion)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float) -> Any:
+        """Remove one occurrence of ``key``; returns its value.
+
+        Buffered occurrences are removed directly; data occurrences are
+        physically removed, widening the page's search window by one slot.
+        After ``buffer_capacity`` deletions the page is rebuilt, so the
+        user-facing error bound never degrades.
+        """
+        self._check_writable()
+        key = float(key)
+        if self.counter is not None:
+            self.counter.op()
+        for tree_key, page in self._pages_possibly_containing(key):
+            j = page.find_in_buffer(key, self.counter)
+            if j >= 0:
+                value = page.delete_at_buffer(j)
+                self._n -= 1
+                if page.n_total == 0:
+                    self._tree.delete(tree_key)
+                    self._dirty = True
+                return value
+            i = page.find_in_data(key, self.page_search_error, self.counter)
+            if i >= 0:
+                value = page.delete_at_data(i)
+                self._n -= 1
+                if page.n_total == 0:
+                    self._tree.delete(tree_key)
+                    self._dirty = True
+                elif page.deletions >= self.buffer_capacity:
+                    self._rebuild_page(tree_key, page)
+                return value
+        raise KeyNotFoundError(key)
+
+    def delete_value(self, key: float, value: Any) -> bool:
+        """Remove the occurrence of ``key`` whose payload equals ``value``.
+
+        Needed when duplicates carry distinct payloads (e.g. row ids in a
+        secondary index, or distinct strings sharing an encoded prefix in
+        :class:`repro.core.strings.StringFITingTree`). Returns True if an
+        occurrence was removed, False if no (key, value) match exists.
+        """
+        self._check_writable()
+        key = float(key)
+        if self.counter is not None:
+            self.counter.op()
+        for tree_key, page in self._pages_possibly_containing(key):
+            j = page.find_in_buffer(key, self.counter)
+            while 0 <= j < len(page.buf_keys) and page.buf_keys[j] == key:
+                if page.buf_values[j] == value:
+                    page.delete_at_buffer(j)
+                    self._n -= 1
+                    if page.n_total == 0:
+                        self._tree.delete(tree_key)
+                        self._dirty = True
+                    return True
+                j += 1
+            i = page.find_in_data(key, self.page_search_error, self.counter)
+            while 0 <= i < len(page.keys) and page.keys[i] == key:
+                if page.values[i] == value:
+                    page.delete_at_data(i)
+                    self._n -= 1
+                    if page.n_total == 0:
+                        self._tree.delete(tree_key)
+                        self._dirty = True
+                    elif page.deletions >= self.buffer_capacity:
+                        self._rebuild_page(tree_key, page)
+                    return True
+                i += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the whole index: tree structure, page invariants, routing."""
+        self._tree.validate()
+        total = 0
+        prev_start = None
+        for (start, _seq), page in self._tree.items():
+            if page.start_key != start:
+                raise InvalidParameterError(
+                    f"tree key {start} != page start {page.start_key}"
+                )
+            page.validate(self.page_search_error, self.buffer_capacity)
+            if prev_start is not None and start < prev_start:
+                raise InvalidParameterError("page starts out of order")
+            prev_start = start
+            total += page.n_total
+        if total != self._n:
+            raise InvalidParameterError(
+                f"element count mismatch: pages={total} cached={self._n}"
+            )

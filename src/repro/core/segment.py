@@ -1,0 +1,138 @@
+"""Segment: the core building block of a FITing-Tree (paper Section 2.1).
+
+A segment is a contiguous region of a sorted array for which linear
+interpolation from the segment's first point predicts every covered key's
+position to within a fixed error bound:
+
+    ``|predicted_position(k) - true_position(k)| <= error``  for all keys k.
+
+The index stores, per segment, only the start key, the slope of the fitted
+line, and where the segment's data lives — three 8-byte words in the
+paper's size model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.errors import SegmentationError
+
+__all__ = ["Segment", "max_deviation", "verify_segments"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An immutable description of one linear segment.
+
+    Attributes
+    ----------
+    start_key:
+        First key covered by the segment (the cone origin).
+    start_pos:
+        Global position (array index) of the segment's first element.
+    slope:
+        Fitted slope in positions-per-key-unit. Any key ``k`` in the segment
+        has predicted global position ``start_pos + (k - start_key) * slope``.
+    length:
+        Number of elements (array slots, duplicates included) covered.
+    """
+
+    start_key: float
+    start_pos: int
+    slope: float
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise SegmentationError(f"segment with non-positive length: {self}")
+        if self.slope < 0:
+            raise SegmentationError(f"segment with negative slope: {self}")
+
+    @property
+    def end_pos(self) -> int:
+        """One past the last global position covered."""
+        return self.start_pos + self.length
+
+    def predict(self, key: float) -> float:
+        """Predicted (unclamped, fractional) global position of ``key``."""
+        return self.start_pos + (key - self.start_key) * self.slope
+
+    def predict_clamped(self, key: float) -> int:
+        """Predicted global position clamped into the segment's range."""
+        pos = int(round(self.predict(key)))
+        if pos < self.start_pos:
+            return self.start_pos
+        last = self.end_pos - 1
+        if pos > last:
+            return last
+        return pos
+
+    def local_offset(self, key: float) -> int:
+        """Predicted offset within the segment's own data array, clamped."""
+        return self.predict_clamped(key) - self.start_pos
+
+
+def max_deviation(
+    keys: np.ndarray, positions: np.ndarray, segment: Segment
+) -> float:
+    """Largest |predicted - true| position over the segment's own elements.
+
+    ``keys``/``positions`` are the *global* arrays; the segment's slice is
+    selected via its ``start_pos``/``length``.
+    """
+    sl = slice(segment.start_pos, segment.end_pos)
+    predicted = segment.start_pos + (keys[sl] - segment.start_key) * segment.slope
+    return float(np.max(np.abs(predicted - positions[sl]))) if segment.length else 0.0
+
+
+def verify_segments(
+    keys: Sequence[float],
+    segments: List[Segment],
+    error: float,
+    positions: Sequence[float] | None = None,
+) -> None:
+    """Validate a segmentation against the paper's definition.
+
+    Checks that segments tile ``[0, len(keys))`` contiguously, that each
+    segment's start key matches the underlying array, and that every
+    element's interpolated position is within ``error`` of its true
+    position. Raises :class:`SegmentationError` on any violation — this is
+    the invariant every segmentation algorithm and every re-segmentation
+    after inserts must uphold.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if positions is None:
+        positions = np.arange(len(keys), dtype=np.float64)
+    else:
+        positions = np.asarray(positions, dtype=np.float64)
+
+    if not segments:
+        if len(keys):
+            raise SegmentationError("no segments for non-empty input")
+        return
+
+    expected_start = 0
+    for seg in segments:
+        if seg.start_pos != expected_start:
+            raise SegmentationError(
+                f"segments not contiguous: expected start {expected_start}, "
+                f"got {seg.start_pos}"
+            )
+        if seg.start_key != keys[seg.start_pos]:
+            raise SegmentationError(
+                f"segment start key {seg.start_key} != array key "
+                f"{keys[seg.start_pos]} at {seg.start_pos}"
+            )
+        deviation = max_deviation(keys, positions, seg)
+        if deviation > error + 1e-6:
+            raise SegmentationError(
+                f"error bound violated: deviation {deviation} > {error} in {seg}"
+            )
+        expected_start = seg.end_pos
+    if expected_start != len(keys):
+        raise SegmentationError(
+            f"segments cover {expected_start} of {len(keys)} elements"
+        )

@@ -1,0 +1,217 @@
+"""String keys for the FITing-Tree via order-preserving prefix encoding.
+
+The paper motivates the index for "data types such as timestamps or sensor
+readings ... but also other data types such as geo-coordinates or string
+data that have similar properties" (Section 1). The core machinery works on
+float64 keys; this module bridges strings to it:
+
+* :func:`encode_prefix` maps a string/bytes key to the integer value of its
+  first six bytes (48 bits — exactly representable in a float64). The
+  mapping is order-preserving on byte strings: ``a <= b`` implies
+  ``encode(a) <= encode(b)``, so a byte-sorted column encodes to a sorted
+  float array and the segmentation bound still holds.
+* Strings sharing a 6-byte prefix collide into *duplicate* encoded keys —
+  which the FITing-Tree already handles; :class:`StringFITingTree` stores
+  the original strings as payload context and filters candidates by exact
+  match, so collisions cost extra comparisons, never wrong answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, KeyNotFoundError
+from repro.core.fiting_tree import FITingTree
+
+__all__ = ["encode_prefix", "StringFITingTree"]
+
+_PREFIX_BYTES = 6  # 48 bits: exact in float64, order-preserving
+
+
+def _as_bytes(key: Any) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    raise InvalidParameterError(
+        f"string index keys must be str or bytes, got {type(key).__name__}"
+    )
+
+
+def encode_prefix(key: Any) -> float:
+    """Order-preserving 48-bit prefix encoding of a string/bytes key.
+
+    ``a <= b  =>  encode_prefix(a) <= encode_prefix(b)`` under bytewise
+    (UTF-8) ordering; equality of encodings means the first six bytes
+    agree (a *candidate* match, not a guaranteed one).
+    """
+    raw = _as_bytes(key)[:_PREFIX_BYTES].ljust(_PREFIX_BYTES, b"\x00")
+    return float(int.from_bytes(raw, "big"))
+
+
+class StringFITingTree:
+    """Error-bounded index over string keys.
+
+    Parameters
+    ----------
+    keys:
+        Iterable of str/bytes sorted ascending in bytewise (UTF-8) order.
+    values:
+        Optional payloads aligned with ``keys``; defaults to row ids.
+    error, buffer_capacity, and friends:
+        Forwarded to the underlying :class:`FITingTree` over the encoded
+        keys.
+
+    Notes
+    -----
+    Internally the index maps ``encoded_prefix -> row id``; originals and
+    payloads live in append-only arrays. Lookups fetch the candidate row
+    ids for the encoding and filter by exact string equality.
+    """
+
+    def __init__(
+        self,
+        keys=None,
+        values=None,
+        *,
+        error: float = 64.0,
+        buffer_capacity: Optional[int] = None,
+        **index_kwargs: Any,
+    ) -> None:
+        keys = list(keys) if keys is not None else []
+        raw = [_as_bytes(k) for k in keys]
+        for a, b in zip(raw, raw[1:]):
+            if a > b:
+                raise InvalidParameterError(
+                    "string keys must be sorted ascending (bytewise)"
+                )
+        if values is None:
+            values = list(range(len(raw)))
+        else:
+            values = list(values)
+            if len(values) != len(raw):
+                raise InvalidParameterError(
+                    f"values length {len(values)} != keys length {len(raw)}"
+                )
+        self._originals: List[bytes] = raw
+        self._payloads: List[Any] = values
+        encoded = np.asarray([encode_prefix(k) for k in raw], dtype=np.float64)
+        rowids = np.arange(len(raw), dtype=np.int64)
+        self._index = FITingTree(
+            encoded,
+            rowids,
+            error=error,
+            buffer_capacity=buffer_capacity,
+            **index_kwargs,
+        )
+        self._live = len(raw)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def n_segments(self) -> int:
+        return self._index.n_segments
+
+    def model_bytes(self) -> int:
+        """Index overhead (tree + segment metadata) over the encoded keys."""
+        return self._index.model_bytes()
+
+    def stats(self) -> Dict[str, Any]:
+        out = self._index.stats()
+        out["n"] = self._live
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _candidate_rows(self, key: Any) -> List[int]:
+        return self._index.lookup_all(encode_prefix(key))
+
+    def lookup_all(self, key: Any) -> List[Any]:
+        """Payloads of every occurrence of ``key`` (exact string match)."""
+        raw = _as_bytes(key)
+        return [
+            self._payloads[row]
+            for row in self._candidate_rows(key)
+            if self._originals[row] == raw
+        ]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        matches = self.lookup_all(key)
+        return matches[0] if matches else default
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.lookup_all(key))
+
+    def __getitem__(self, key: Any) -> Any:
+        matches = self.lookup_all(key)
+        if not matches:
+            raise KeyNotFoundError(key)
+        return matches[0]
+
+    def range_items(
+        self, lo: Any = None, hi: Any = None
+    ) -> Iterator[Tuple[bytes, Any]]:
+        """``(key, payload)`` pairs with ``lo <= key <= he`` bytewise.
+
+        Prefix encoding is coarse at the boundaries (strings sharing the
+        boundary's 6-byte prefix), so boundary candidates are re-filtered
+        against the exact byte strings.
+        """
+        lo_raw = _as_bytes(lo) if lo is not None else None
+        hi_raw = _as_bytes(hi) if hi is not None else None
+        lo_enc = encode_prefix(lo) if lo is not None else None
+        hi_enc = encode_prefix(hi) if hi is not None else None
+        for _, row in self._index.range_items(lo_enc, hi_enc):
+            original = self._originals[row]
+            if lo_raw is not None and original < lo_raw:
+                continue
+            if hi_raw is not None and original > hi_raw:
+                continue
+            yield original, self._payloads[row]
+
+    def prefix_items(self, prefix: Any) -> Iterator[Tuple[bytes, Any]]:
+        """All entries whose key starts with ``prefix`` (bytewise)."""
+        raw = _as_bytes(prefix)
+        hi = raw + b"\xff" * max(0, _PREFIX_BYTES - len(raw)) + b"\xff" * 8
+        for key, payload in self.range_items(raw, hi):
+            if key.startswith(raw):
+                yield key, payload
+
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Index a new string key."""
+        raw = _as_bytes(key)
+        row = len(self._originals)
+        self._originals.append(raw)
+        self._payloads.append(value if value is not None else row)
+        self._index.insert(encode_prefix(raw), row)
+        self._live += 1
+
+    def delete(self, key: Any) -> Any:
+        """Remove one occurrence of ``key``; returns its payload."""
+        raw = _as_bytes(key)
+        for row in self._candidate_rows(key):
+            if self._originals[row] == raw:
+                if not self._index.delete_value(encode_prefix(raw), row):
+                    raise AssertionError(  # pragma: no cover - internal
+                        "candidate row vanished during delete"
+                    )
+                self._live -= 1
+                return self._payloads[row]
+        raise KeyNotFoundError(key)
+
+    def validate(self) -> None:
+        self._index.validate()
+        if len(self._index) != self._live:
+            raise InvalidParameterError("live-row count out of sync")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StringFITingTree(n={self._live}, segments={self.n_segments})"
+        )

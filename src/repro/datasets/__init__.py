@@ -1,0 +1,52 @@
+"""Dataset generators: seeded substitutes for the paper's evaluation data.
+
+Importing this package registers every generator; use :func:`get` /
+:func:`names` / :func:`spec` to access them. See each module's docstring
+(and DESIGN.md's substitution table) for how the synthetic processes mirror
+the real datasets' decisive property — the periodicity of the
+key-to-position function.
+"""
+
+from repro.datasets import adversarial as _adversarial  # noqa: F401
+from repro.datasets import spatial as _spatial  # noqa: F401
+from repro.datasets import synthetic as _synthetic  # noqa: F401
+from repro.datasets import temporal as _temporal  # noqa: F401
+from repro.datasets.adversarial import (
+    adversarial_keys,
+    adversarial_n_for_elements,
+)
+from repro.datasets.base import DatasetSpec, get, names, register, spec
+from repro.datasets.spatial import (
+    maps_longitude,
+    mixture_sorted,
+    taxi_drop_lat,
+    taxi_drop_lon,
+)
+from repro.datasets.synthetic import lognormal, step_data, uniform
+from repro.datasets.temporal import (
+    iot,
+    poisson_from_hourly_profile,
+    taxi_pickup_time,
+    weblogs,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "adversarial_keys",
+    "adversarial_n_for_elements",
+    "get",
+    "iot",
+    "lognormal",
+    "maps_longitude",
+    "mixture_sorted",
+    "names",
+    "poisson_from_hourly_profile",
+    "register",
+    "spec",
+    "step_data",
+    "taxi_drop_lat",
+    "taxi_drop_lon",
+    "taxi_pickup_time",
+    "uniform",
+    "weblogs",
+]

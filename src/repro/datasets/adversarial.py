@@ -1,0 +1,80 @@
+"""Appendix A.3: the input on which ShrinkingCone is not competitive.
+
+The paper proves the greedy algorithm can be arbitrarily worse than optimal
+by constructing, for an error threshold ``E``:
+
+1. three keys ``x1 < x2 < x3`` with one location each, spaced ``E/2`` apart;
+2. a key ``x4 = x3 + 1/E`` repeated ``E + 1`` times, then a single key
+   ``x5 = x4 + 1/E``;
+3. ``N`` repetitions of the pattern: a key ``prev + E`` repeated ``E + 1``
+   times followed by a single key ``1/E`` further;
+4. a final key ``E/2`` beyond the last.
+
+ShrinkingCone is forced to cut a segment at every repeated-key cliff and
+produces ``N + 2`` segments, while an optimal segmentation needs only two
+(the first key alone, then one long segment whose line threads every
+cliff). ``adversarial_keys`` builds exactly this input; the tests and the
+``a3`` bench verify both counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets.base import register
+
+__all__ = ["adversarial_keys", "adversarial_n_for_elements"]
+
+
+def adversarial_keys(n_patterns: int, error: int = 100) -> np.ndarray:
+    """Keys of the A.3 construction with ``n_patterns`` repetitions.
+
+    Total elements: ``3 + (E + 2) + n_patterns * (E + 2) + 1``.
+    """
+    if error < 2:
+        raise InvalidParameterError(f"error must be >= 2, got {error}")
+    if n_patterns < 0:
+        raise InvalidParameterError(f"n_patterns must be >= 0, got {n_patterns}")
+    e = float(error)
+    keys = [0.0, e / 2.0, e]  # x1, x2, x3 (one location each)
+    x = e + 1.0 / e  # x4
+    keys.extend([x] * (error + 1))
+    x += 1.0 / e  # x5
+    keys.append(x)
+    for _ in range(n_patterns):
+        x += e
+        keys.extend([x] * (error + 1))
+        x += 1.0 / e
+        keys.append(x)
+    x += e / 2.0
+    keys.append(x)
+    return np.asarray(keys, dtype=np.float64)
+
+
+def adversarial_n_for_elements(n_elements: int, error: int = 100) -> int:
+    """Largest pattern count whose construction stays within ``n_elements``."""
+    fixed = 3 + (error + 2) + 1
+    per_pattern = error + 2
+    return max(0, (n_elements - fixed) // per_pattern)
+
+
+def _registry_builder(n: int, seed: int) -> np.ndarray:
+    """Registry adapter: trim/construct to exactly ``n`` elements (E=100)."""
+    del seed
+    error = 100
+    patterns = adversarial_n_for_elements(n, error)
+    keys = adversarial_keys(patterns, error)
+    if len(keys) < n:  # pad by extending the tail linearly, keeps sortedness
+        extra = n - len(keys)
+        tail = keys[-1] + np.arange(1, extra + 1, dtype=np.float64) * error
+        keys = np.concatenate([keys, tail])
+    return keys[:n]
+
+
+register(
+    "adversarial",
+    _registry_builder,
+    "A.3 non-competitiveness construction (E=100)",
+    "Appendix A.3 proof input",
+)

@@ -1,0 +1,143 @@
+"""Spatial datasets: OSM/Maps longitudes and NYC-Taxi drop coordinates.
+
+* **maps** / **osm_lon** — longitudes of user-maintained map features. The
+  paper observes these are "relatively linear and do not contain many
+  periodic trends" at small scales (Figure 8), i.e. locally smooth density.
+  We model a mixture of broad continental clusters over a uniform ocean
+  floor; the many wide components make the sorted CDF smooth at small
+  scales while still bending at continental boundaries.
+* **taxi_drop_lat / taxi_drop_lon** — drop-off coordinates concentrated in
+  the NYC bounding box: tight Gaussian mixtures around boroughs/airports
+  with heavy mass near Manhattan, giving locally steep, strongly non-linear
+  CDFs (the paper's Table 1 shows these need relatively many segments at
+  small errors).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import register
+
+__all__ = ["mixture_sorted", "maps_longitude", "taxi_drop_lat", "taxi_drop_lon"]
+
+
+def mixture_sorted(
+    n: int,
+    seed: int,
+    components: Sequence[Tuple[float, float, float]],
+    uniform_weight: float = 0.0,
+    uniform_range: Tuple[float, float] = (0.0, 1.0),
+    clip: Tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Sorted draws from a Gaussian mixture plus an optional uniform floor.
+
+    ``components`` are ``(weight, mean, std)`` triples; weights need not be
+    normalized (the uniform floor's weight joins the normalization).
+    """
+    rng = np.random.default_rng(seed)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    weights = np.array([w for w, _, _ in components], dtype=np.float64)
+    weights = np.append(weights, uniform_weight)
+    weights /= weights.sum()
+    counts = rng.multinomial(n, weights)
+    parts = [
+        rng.normal(mean, std, size=count)
+        for (_, mean, std), count in zip(components, counts[:-1])
+    ]
+    parts.append(rng.uniform(*uniform_range, size=counts[-1]))
+    out = np.concatenate(parts)
+    if clip is not None:
+        np.clip(out, clip[0], clip[1], out=out)
+    out.sort()
+    return out
+
+
+#: Rough longitudes (degrees) of feature-dense regions: Europe, East Asia,
+#: South Asia, US East/West, Japan, Brazil, West Africa.
+_WORLD_COMPONENTS = (
+    (0.30, 10.0, 12.0),
+    (0.14, 105.0, 12.0),
+    (0.08, 78.0, 8.0),
+    (0.12, -80.0, 8.0),
+    (0.07, -118.0, 6.0),
+    (0.09, 138.0, 4.0),
+    (0.07, -47.0, 8.0),
+    (0.04, 3.0, 6.0),
+)
+
+
+def maps_longitude(n: int, seed: int = 0) -> np.ndarray:
+    """OSM feature longitudes: broad continental clusters + uniform ocean."""
+    return mixture_sorted(
+        n,
+        seed,
+        _WORLD_COMPONENTS,
+        uniform_weight=0.09,
+        uniform_range=(-180.0, 180.0),
+        clip=(-180.0, 180.0),
+    )
+
+
+_NYC_LAT_COMPONENTS = (
+    (0.45, 40.750, 0.020),  # Midtown
+    (0.20, 40.715, 0.015),  # Downtown
+    (0.15, 40.780, 0.025),  # Upper East/West
+    (0.10, 40.690, 0.030),  # Brooklyn
+    (0.05, 40.773, 0.008),  # LGA
+    (0.05, 40.645, 0.008),  # JFK
+)
+
+_NYC_LON_COMPONENTS = (
+    (0.45, -73.985, 0.015),
+    (0.20, -74.005, 0.010),
+    (0.15, -73.960, 0.020),
+    (0.10, -73.950, 0.035),
+    (0.05, -73.873, 0.008),
+    (0.05, -73.785, 0.008),
+)
+
+
+def taxi_drop_lat(n: int, seed: int = 0) -> np.ndarray:
+    """Taxi drop-off latitudes: tight borough/airport Gaussian mixture."""
+    return mixture_sorted(
+        n, seed, _NYC_LAT_COMPONENTS, uniform_weight=0.02,
+        uniform_range=(40.55, 40.95), clip=(40.50, 41.00),
+    )
+
+
+def taxi_drop_lon(n: int, seed: int = 0) -> np.ndarray:
+    """Taxi drop-off longitudes: tight borough/airport Gaussian mixture."""
+    return mixture_sorted(
+        n, seed, _NYC_LON_COMPONENTS, uniform_weight=0.02,
+        uniform_range=(-74.10, -73.70), clip=(-74.15, -73.65),
+    )
+
+
+register(
+    "maps",
+    maps_longitude,
+    "map-feature longitudes, locally smooth continental mixture",
+    "Maps/OSM [25]: longitudes of ~2B user-maintained features",
+)
+register(
+    "osm_lon",
+    lambda n, seed: maps_longitude(n, seed + 1),
+    "OSM longitudes sample (different seed than 'maps')",
+    "OpenStreetMap longitude sample used in Table 1",
+)
+register(
+    "taxi_drop_lat",
+    taxi_drop_lat,
+    "taxi drop-off latitudes, tight NYC mixture",
+    "NYC Taxi [24]: drop latitude attribute",
+)
+register(
+    "taxi_drop_lon",
+    taxi_drop_lon,
+    "taxi drop-off longitudes, tight NYC mixture",
+    "NYC Taxi [24]: drop longitude attribute",
+)

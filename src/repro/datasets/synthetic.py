@@ -1,0 +1,67 @@
+"""Generic synthetic datasets: uniform, lognormal, and the worst-case step.
+
+``step_data`` is the paper's Section 7.2 adversarial distribution: every
+key repeats ``step`` times, so the key-to-position function is a staircase
+with riser height ``step``. An error threshold below ``step - 1`` forces
+one segment per ``error + 1`` positions (the worst case Theorem 3.1
+permits); a threshold of at least ``step - 1`` lets a single segment cover
+everything — the cliff Figure 9b shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import register
+
+__all__ = ["uniform", "lognormal", "step_data"]
+
+
+def uniform(n: int, seed: int = 0, lo: float = 0.0, hi: float = 1e9) -> np.ndarray:
+    """Sorted uniform keys: the friendliest case (near-linear CDF)."""
+    rng = np.random.default_rng(seed)
+    keys = rng.uniform(lo, hi, size=n)
+    keys.sort()
+    return keys
+
+
+def lognormal(
+    n: int, seed: int = 0, mean: float = 0.0, sigma: float = 2.0
+) -> np.ndarray:
+    """Sorted lognormal keys: heavy right tail, strongly curved CDF."""
+    rng = np.random.default_rng(seed)
+    keys = rng.lognormal(mean, sigma, size=n)
+    keys.sort()
+    return keys
+
+
+def step_data(n: int, seed: int = 0, step: int = 100) -> np.ndarray:
+    """Paper Figure 9a worst case: every key repeated ``step`` times.
+
+    ``seed`` is accepted for registry uniformity but unused — the worst
+    case is deterministic by construction.
+    """
+    del seed
+    n_steps = -(-n // step)  # ceil
+    keys = np.repeat(np.arange(n_steps, dtype=np.float64) * step, step)
+    return keys[:n]
+
+
+register(
+    "uniform",
+    uniform,
+    "uniform random keys (near-linear best case)",
+    "synthetic control (not in the paper's figures)",
+)
+register(
+    "lognormal",
+    lognormal,
+    "lognormal keys (heavy-tailed)",
+    "synthetic control (not in the paper's figures)",
+)
+register(
+    "step",
+    step_data,
+    "worst-case staircase, step size 100",
+    "Section 7.2 synthetic worst case (Figure 9)",
+)

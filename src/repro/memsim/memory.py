@@ -1,0 +1,56 @@
+"""A toy address space: assigns byte addresses to simulated structures.
+
+Cache simulation needs addresses. Real Python objects do not have stable,
+meaningful layouts, so :class:`AddressSpace` is a bump allocator that hands
+out aligned address ranges for "allocations" (tree nodes, data arrays),
+letting us synthesize realistic address traces for
+:class:`repro.memsim.cache.CacheSim`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["AddressSpace"]
+
+
+class AddressSpace:
+    """Bump allocator over a flat byte-addressed space.
+
+    ``alloc`` returns the base address of a fresh range; ``of`` memoizes a
+    per-object allocation so repeated traces touch the same addresses (the
+    whole point of simulating cache locality).
+    """
+
+    def __init__(self, base: int = 0x10000, align: int = 64) -> None:
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise InvalidParameterError(f"align must be a power of two, got {align}")
+        self._next = base
+        self._align = align
+        # Values keep a strong reference to the object: ids are only unique
+        # among *live* objects, so memoizing by id() requires pinning them.
+        self._by_object: Dict[int, tuple] = {}
+
+    def alloc(self, size: int) -> int:
+        """Reserve ``size`` bytes; return the aligned base address."""
+        if size <= 0:
+            raise InvalidParameterError(f"size must be positive, got {size}")
+        mask = self._align - 1
+        base = (self._next + mask) & ~mask
+        self._next = base + size
+        return base
+
+    def of(self, obj: Any, size: int) -> int:
+        """Return the stable base address of ``obj``, allocating on first use."""
+        key = id(obj)
+        entry = self._by_object.get(key)
+        if entry is None:
+            entry = (self.alloc(size), size, obj)
+            self._by_object[key] = entry
+        return entry[0]
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(size for _, size, _ in self._by_object.values())

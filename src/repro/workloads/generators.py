@@ -1,0 +1,124 @@
+"""Workload generators: lookup query streams and insert streams.
+
+The paper's evaluation measures per-thread lookup latency over random
+point queries and insert throughput over random insert streams. These
+helpers produce seeded, reproducible streams with the access patterns a
+database evaluation typically needs: uniform over existing keys, skewed
+(Zipf) toward hot keys, guaranteed misses, mixes, and several insert-order
+patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "uniform_lookups",
+    "zipf_lookups",
+    "missing_lookups",
+    "mixed_lookups",
+    "insert_stream",
+]
+
+
+def uniform_lookups(keys: np.ndarray, n_queries: int, seed: int = 0) -> np.ndarray:
+    """Existing keys sampled uniformly at random (with replacement)."""
+    rng = np.random.default_rng(seed)
+    if len(keys) == 0:
+        raise InvalidParameterError("cannot sample lookups from empty keys")
+    idx = rng.integers(0, len(keys), size=n_queries)
+    return np.asarray(keys, dtype=np.float64)[idx]
+
+
+def zipf_lookups(
+    keys: np.ndarray, n_queries: int, seed: int = 0, a: float = 1.3
+) -> np.ndarray:
+    """Existing keys sampled with Zipfian skew (rank 1 = hottest).
+
+    Hot ranks are scattered over the key space with a seeded permutation so
+    the skew is in popularity, not in key locality.
+    """
+    rng = np.random.default_rng(seed)
+    n = len(keys)
+    if n == 0:
+        raise InvalidParameterError("cannot sample lookups from empty keys")
+    if a <= 1.0:
+        raise InvalidParameterError(f"zipf exponent must be > 1, got {a}")
+    ranks = rng.zipf(a, size=n_queries)
+    perm = rng.permutation(n)
+    idx = perm[(ranks - 1) % n]
+    return np.asarray(keys, dtype=np.float64)[idx]
+
+
+def missing_lookups(keys: np.ndarray, n_queries: int, seed: int = 0) -> np.ndarray:
+    """Queries guaranteed absent: midpoints between adjacent distinct keys."""
+    rng = np.random.default_rng(seed)
+    keys = np.asarray(keys, dtype=np.float64)
+    uniq = np.unique(keys)
+    if len(uniq) < 2:
+        raise InvalidParameterError("need >= 2 distinct keys for misses")
+    gaps = np.flatnonzero(np.diff(uniq) > 0)
+    pick = rng.integers(0, len(gaps), size=n_queries)
+    left = uniq[gaps[pick]]
+    right = uniq[gaps[pick] + 1]
+    mids = left + (right - left) * 0.5
+    # Guard against degenerate float midpoints colliding with an endpoint.
+    bad = (mids <= left) | (mids >= right)
+    mids[bad] = left[bad]  # will still be a "hit"; vanishingly rare
+    return mids
+
+
+def mixed_lookups(
+    keys: np.ndarray, n_queries: int, hit_ratio: float = 0.9, seed: int = 0
+) -> np.ndarray:
+    """Shuffled mix of present and absent queries with the given hit ratio."""
+    if not (0.0 <= hit_ratio <= 1.0):
+        raise InvalidParameterError(f"hit_ratio must be in [0,1], got {hit_ratio}")
+    rng = np.random.default_rng(seed)
+    n_hits = int(round(n_queries * hit_ratio))
+    hits = uniform_lookups(keys, n_hits, seed + 1)
+    misses = missing_lookups(keys, n_queries - n_hits, seed + 2)
+    out = np.concatenate([hits, misses])
+    rng.shuffle(out)
+    return out
+
+
+def insert_stream(
+    n: int,
+    lo: float,
+    hi: float,
+    seed: int = 0,
+    pattern: str = "uniform",
+) -> np.ndarray:
+    """Keys to insert, drawn from ``[lo, hi)``.
+
+    Patterns
+    --------
+    ``uniform``
+        Independent uniform draws (the paper's insert benchmark).
+    ``sequential``
+        Monotonically increasing keys appended past ``hi`` (log-style).
+    ``hotspot``
+        90% of inserts land in a random 10% sub-range (splits concentrate).
+    """
+    rng = np.random.default_rng(seed)
+    if hi <= lo:
+        raise InvalidParameterError(f"need hi > lo, got [{lo}, {hi})")
+    if pattern == "uniform":
+        return rng.uniform(lo, hi, size=n)
+    if pattern == "sequential":
+        steps = rng.uniform(0.0, (hi - lo) / max(n, 1), size=n)
+        return hi + np.cumsum(steps)
+    if pattern == "hotspot":
+        width = (hi - lo) * 0.1
+        start = rng.uniform(lo, hi - width)
+        hot = rng.uniform(start, start + width, size=n)
+        cold = rng.uniform(lo, hi, size=n)
+        take_hot = rng.random(n) < 0.9
+        return np.where(take_hot, hot, cold)
+    raise InvalidParameterError(
+        f"unknown insert pattern {pattern!r}; "
+        f"use uniform | sequential | hotspot"
+    )

@@ -1,0 +1,90 @@
+"""Non-linearity ratio and sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    crossover,
+    geometric_grid,
+    log_error_grid,
+    nonlinearity_profile,
+    nonlinearity_ratio,
+    sweep,
+)
+from repro.core.errors import InvalidParameterError
+from repro.datasets import step_data
+
+
+class TestNonlinearityRatio:
+    def test_step_data_is_maximally_nonlinear_below_step(self):
+        keys = step_data(20_000, step=100)
+        # At error < step the data is the worst case: ratio near 1.
+        assert nonlinearity_ratio(keys, 10) > 0.8
+
+    def test_step_data_linear_above_step(self):
+        keys = step_data(20_000, step=100)
+        assert nonlinearity_ratio(keys, 500) < 0.05
+
+    def test_linear_data_near_zero(self):
+        keys = np.arange(50_000, dtype=np.float64)
+        assert nonlinearity_ratio(keys, 100) < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            nonlinearity_ratio(np.empty(0), 10)
+
+    def test_profile_skips_oversized_errors(self, periodic_keys):
+        profile = nonlinearity_profile(periodic_keys, [10.0, 1e9])
+        assert 10.0 in profile
+        assert 1e9 not in profile
+
+    def test_profile_default_grid(self, periodic_keys):
+        profile = nonlinearity_profile(periodic_keys)
+        assert len(profile) >= 3
+        assert all(0 < v <= 1.5 for v in profile.values())
+
+
+class TestGrids:
+    def test_log_error_grid(self):
+        grid = log_error_grid(1, 3, 1)
+        assert grid == pytest.approx([10.0, 100.0, 1000.0])
+
+    def test_log_error_grid_density(self):
+        grid = log_error_grid(1, 2, 4)
+        assert len(grid) == 5
+
+    def test_log_error_grid_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            log_error_grid(3, 1)
+
+    def test_geometric_grid(self):
+        grid = geometric_grid(1.0, 1000.0, per_decade=1)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(1000.0)
+
+    def test_geometric_grid_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_grid(0.0, 10.0)
+        with pytest.raises(InvalidParameterError):
+            geometric_grid(10.0, 1.0)
+
+
+class TestSweep:
+    def test_sweep_rows(self):
+        rows = sweep(lambda x: {"sq": x * x}, [1, 2, 3], param_name="x")
+        assert rows == [
+            {"sq": 1, "x": 1},
+            {"sq": 4, "x": 2},
+            {"sq": 9, "x": 3},
+        ]
+
+    def test_crossover_found(self):
+        xs = [1, 2, 3, 4]
+        assert crossover(xs, [10, 8, 3, 1], [5, 5, 5, 5]) == 3
+
+    def test_crossover_none(self):
+        assert crossover([1, 2], [10, 9], [1, 1]) is None
+
+    def test_crossover_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            crossover([1], [1, 2], [1, 2])

@@ -1,0 +1,118 @@
+"""Cross-structure equivalence: every index answers queries identically.
+
+The paper's comparison only makes sense if all four structures implement
+the same logical (multi)map; these tests pin that equivalence on shared
+workloads, including a hypothesis sweep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BinarySearchIndex, FixedPageIndex, FullIndex
+from repro.core.fiting_tree import FITingTree
+
+
+def build_all(keys):
+    return {
+        "fiting": FITingTree(keys, error=32, buffer_capacity=8),
+        "fixed": FixedPageIndex(keys, page_size=32, buffer_capacity=8),
+        "full": FullIndex(keys),
+        "binary": BinarySearchIndex(keys),
+    }
+
+
+@pytest.fixture
+def keys(rng):
+    base = rng.uniform(0, 1e5, 3_000)
+    dups = rng.choice(base, 300)
+    return np.sort(np.concatenate([base, dups]))
+
+
+class TestPointEquivalence:
+    def test_hits_agree(self, keys, rng):
+        indexes = build_all(keys)
+        queries = rng.choice(keys, 300)
+        for q in queries:
+            results = {name: idx.get(q, None) for name, idx in indexes.items()}
+            values = set(results.values())
+            # Duplicates may surface different occurrences, but never a miss.
+            assert None not in values, results
+            row_positions = set(np.flatnonzero(keys == q).tolist())
+            assert values <= row_positions
+
+    def test_misses_agree(self, keys, rng):
+        indexes = build_all(keys)
+        for q in rng.uniform(-1e4, -1.0, 100):
+            for name, idx in indexes.items():
+                assert idx.get(q, "miss") == "miss", name
+
+    def test_lookup_all_agree(self, keys, rng):
+        indexes = build_all(keys)
+        for q in rng.choice(keys, 100):
+            expected = sorted(np.flatnonzero(keys == q).tolist())
+            for name, idx in indexes.items():
+                if hasattr(idx, "lookup_all"):
+                    assert sorted(idx.lookup_all(q)) == expected, name
+
+
+class TestRangeEquivalence:
+    def test_ranges_agree(self, keys, rng):
+        indexes = build_all(keys)
+        for _ in range(20):
+            lo, hi = np.sort(rng.uniform(keys[0], keys[-1], 2))
+            reference = None
+            for name, idx in indexes.items():
+                got = sorted(k for k, _ in idx.range_items(lo, hi))
+                if reference is None:
+                    reference = got
+                else:
+                    assert np.allclose(got, reference), name
+
+
+class TestMutationEquivalence:
+    def test_inserts_then_queries(self, keys, rng):
+        indexes = build_all(keys)
+        new_keys = rng.uniform(0, 1e5, 200)
+        for i, k in enumerate(new_keys):
+            for idx in indexes.values():
+                idx.insert(k, 1_000_000 + i)
+        for i, k in enumerate(new_keys):
+            for name, idx in indexes.items():
+                assert 1_000_000 + i in idx.lookup_all(k), name
+
+    def test_deletes_then_queries(self, keys):
+        indexes = build_all(keys)
+        victims = np.unique(keys)[::37]
+        for k in victims:
+            expected = None
+            for name, idx in indexes.items():
+                count_before = len(idx.lookup_all(k))
+                idx.delete(k)
+                assert len(idx.lookup_all(k)) == count_before - 1, name
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=500).map(float),
+        min_size=1,
+        max_size=120,
+    ).map(sorted),
+    queries=st.lists(
+        st.integers(min_value=-10, max_value=510).map(float), max_size=30
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_all_structures_agree(keys, queries):
+    arr = np.asarray(keys)
+    indexes = build_all(arr)
+    for q in queries:
+        hits = {name: (q in idx) for name, idx in indexes.items()}
+        assert len(set(hits.values())) == 1, hits
+        counts = {
+            name: len(idx.lookup_all(q))
+            for name, idx in indexes.items()
+            if hasattr(idx, "lookup_all")
+        }
+        assert len(set(counts.values())) == 1, counts

@@ -1,0 +1,136 @@
+"""Fixed-page and binary-search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinarySearchIndex, FixedPageIndex
+from repro.core.errors import (
+    InvalidParameterError,
+    KeyNotFoundError,
+    NotSortedError,
+)
+
+
+class TestFixedPageIndex:
+    def test_page_count(self):
+        idx = FixedPageIndex(np.arange(1000.0), page_size=100, buffer_capacity=0)
+        assert idx.n_pages == 10
+
+    def test_uneven_pages_balanced(self):
+        idx = FixedPageIndex(np.arange(1050.0), page_size=100, buffer_capacity=0)
+        lengths = [p.n_data for p in idx.pages()]
+        assert sum(lengths) == 1050
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_invalid_page_size(self):
+        with pytest.raises(InvalidParameterError):
+            FixedPageIndex([1.0], page_size=0)
+
+    def test_lookups(self, uniform_keys):
+        idx = FixedPageIndex(uniform_keys, page_size=64)
+        for i in (0, 123, 9_999):
+            assert idx.get(uniform_keys[i]) == i
+        assert idx.get(-5.0) is None
+
+    def test_default_buffer_is_half_page(self):
+        idx = FixedPageIndex([1.0, 2.0], page_size=100)
+        assert idx.buffer_capacity == 50
+
+    def test_insert_splits_full_page(self):
+        keys = np.arange(0.0, 1000.0, 1.0)
+        idx = FixedPageIndex(keys, page_size=50, buffer_capacity=5)
+        pages_before = idx.n_pages
+        for i in range(200):
+            idx.insert(500.0 + i / 1000.0, 5_000 + i)
+        idx.validate()
+        assert idx.n_pages > pages_before
+        assert len(idx) == 1200
+        assert idx.get(500.05) == 5_050
+
+    def test_split_produces_bounded_pages(self):
+        keys = np.arange(0.0, 300.0)
+        idx = FixedPageIndex(keys, page_size=20, buffer_capacity=4)
+        for i in range(100):
+            idx.insert(150.0 + i / 200.0)
+        # Pages never exceed page_size after rebuilds.
+        assert all(p.n_data <= 20 for p in idx.pages())
+        idx.validate()
+
+    def test_no_interpolation_search(self):
+        # The fixed baseline must find keys even where interpolation would
+        # mispredict badly (skewed page contents).
+        keys = np.sort(np.concatenate([np.zeros(50) + 1e-9 * np.arange(50),
+                                       np.array([1e9])]))
+        idx = FixedPageIndex(keys, page_size=51, buffer_capacity=0)
+        assert idx.get(1e9) == 50
+
+    def test_deletes(self, uniform_keys):
+        idx = FixedPageIndex(uniform_keys, page_size=64)
+        assert idx.delete(uniform_keys[3]) == 3
+        assert uniform_keys[3] not in idx
+        idx.validate()
+
+    def test_model_bytes_scales_inverse_page_size(self, uniform_keys):
+        fine = FixedPageIndex(uniform_keys, page_size=16, buffer_capacity=0)
+        coarse = FixedPageIndex(uniform_keys, page_size=1024, buffer_capacity=0)
+        assert fine.model_bytes() > 10 * coarse.model_bytes()
+
+    def test_stats_has_page_size(self, uniform_keys):
+        idx = FixedPageIndex(uniform_keys, page_size=64)
+        assert idx.stats()["page_size"] == 64
+
+
+class TestBinarySearchIndex:
+    def test_zero_index_size(self, uniform_keys):
+        assert BinarySearchIndex(uniform_keys).model_bytes() == 0
+
+    def test_lookups(self, uniform_keys):
+        idx = BinarySearchIndex(uniform_keys)
+        assert idx.get(uniform_keys[77]) == 77
+        assert idx.get(-1.0) is None
+        with pytest.raises(KeyNotFoundError):
+            idx[-1.0]
+
+    def test_lookup_all_duplicates(self):
+        idx = BinarySearchIndex(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert idx.lookup_all(2.0) == [1, 2]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            BinarySearchIndex([3.0, 1.0])
+
+    def test_range(self, uniform_keys):
+        idx = BinarySearchIndex(uniform_keys)
+        lo, hi = uniform_keys[10], uniform_keys[20]
+        got = [k for k, _ in idx.range_items(lo, hi)]
+        assert len(got) == 11
+
+    def test_range_exclusive(self):
+        idx = BinarySearchIndex(np.arange(10.0))
+        got = [k for k, _ in idx.range_items(2, 5, include_lo=False,
+                                             include_hi=False)]
+        assert got == [3.0, 4.0]
+
+    def test_insert_delete(self):
+        idx = BinarySearchIndex(np.array([1.0, 3.0]))
+        idx.insert(2.0)
+        assert idx.get(2.0) == 2  # auto rowid
+        assert [k for k, _ in idx.items()] == [1.0, 2.0, 3.0]
+        assert idx.delete(2.0) == 2
+        with pytest.raises(KeyNotFoundError):
+            idx.delete(2.0)
+        idx.validate()
+
+    def test_bulk_lookup(self, uniform_keys):
+        idx = BinarySearchIndex(uniform_keys)
+        out = idx.bulk_lookup([uniform_keys[4], -9.0], default="miss")
+        assert out[0] == 4
+        assert out[1] == "miss"
+
+    def test_counter_charges_log_n(self, uniform_keys):
+        from repro.memsim import AccessCounter, binary_search_probes
+
+        counter = AccessCounter()
+        idx = BinarySearchIndex(uniform_keys, counter=counter)
+        idx.get(uniform_keys[0])
+        assert counter.segment_probes == binary_search_probes(len(uniform_keys))

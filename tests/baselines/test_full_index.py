@@ -1,0 +1,117 @@
+"""Dense (full) B+ tree baseline: per-distinct-key entries, duplicates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.full_index import FullIndex
+from repro.core.errors import (
+    InvalidParameterError,
+    KeyNotFoundError,
+    NotSortedError,
+)
+
+
+class TestBuild:
+    def test_empty(self):
+        idx = FullIndex()
+        assert len(idx) == 0
+        assert idx.get(1.0) is None
+        idx.validate()
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            FullIndex([2.0, 1.0])
+
+    def test_values_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            FullIndex([1.0, 2.0], [0])
+
+    def test_entries_count_distinct_keys(self):
+        keys = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+        idx = FullIndex(keys)
+        assert idx.n_entries == 3
+        assert len(idx) == 6
+
+
+class TestLookups:
+    def test_rowids(self, uniform_keys):
+        idx = FullIndex(uniform_keys)
+        for i in (0, 57, 9_999):
+            assert idx.get(uniform_keys[i]) == i
+
+    def test_duplicates_lookup_all(self):
+        keys = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+        idx = FullIndex(keys)
+        assert idx.lookup_all(2.0) == [1, 2, 3]
+        assert idx.get(2.0) == 1
+        assert idx.lookup_all(9.0) == []
+
+    def test_contains_getitem(self, uniform_keys):
+        idx = FullIndex(uniform_keys)
+        assert uniform_keys[3] in idx
+        assert -1.0 not in idx
+        with pytest.raises(KeyNotFoundError):
+            idx[-1.0]
+
+    def test_bulk_lookup(self, uniform_keys):
+        idx = FullIndex(uniform_keys)
+        out = idx.bulk_lookup([uniform_keys[5], -1.0], default=-7)
+        assert out == [5, -7]
+
+
+class TestRange:
+    def test_range_flattens_duplicates(self):
+        keys = np.array([1.0, 2.0, 2.0, 3.0, 4.0])
+        idx = FullIndex(keys)
+        items = list(idx.range_items(2.0, 3.0))
+        assert items == [(2.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_items_cover_everything(self, uniform_keys):
+        idx = FullIndex(uniform_keys)
+        assert len(list(idx.items())) == len(uniform_keys)
+
+
+class TestMutation:
+    def test_insert_new_key(self):
+        idx = FullIndex([1.0, 2.0])
+        idx.insert(5.0)
+        assert idx.get(5.0) == 2  # auto rowid continues
+        assert len(idx) == 3
+
+    def test_insert_duplicate_promotes_to_multi(self):
+        idx = FullIndex([1.0, 2.0])
+        idx.insert(2.0, 99)
+        assert idx.lookup_all(2.0) == [1, 99]
+        assert idx.n_entries == 2
+        idx.validate()
+
+    def test_delete_single(self):
+        idx = FullIndex([1.0, 2.0])
+        assert idx.delete(1.0) == 0
+        assert 1.0 not in idx
+        idx.validate()
+
+    def test_delete_one_of_duplicates(self):
+        keys = np.array([2.0, 2.0, 2.0])
+        idx = FullIndex(keys)
+        assert idx.delete(2.0) == 0
+        assert idx.lookup_all(2.0) == [1, 2]
+        assert idx.delete(2.0) == 1
+        assert idx.lookup_all(2.0) == [2]
+        idx.validate()
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            FullIndex([1.0]).delete(2.0)
+
+
+class TestSize:
+    def test_model_bytes_linear_in_distinct_keys(self):
+        small = FullIndex(np.arange(1_000, dtype=np.float64))
+        large = FullIndex(np.arange(10_000, dtype=np.float64))
+        assert large.model_bytes() > 8 * small.model_bytes()
+
+    def test_duplicates_do_not_grow_entries(self):
+        uniq = FullIndex(np.arange(100, dtype=np.float64))
+        dup = FullIndex(np.repeat(np.arange(100.0), 10))
+        assert dup.n_entries == uniq.n_entries

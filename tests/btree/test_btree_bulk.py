@@ -1,0 +1,86 @@
+"""Bulk loading: fill factors, tail rebalancing, input validation."""
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.core.errors import InvalidParameterError, NotSortedError
+
+
+def pairs(n):
+    return [(i, i * 3) for i in range(n)]
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 16, 17, 100, 1000])
+    def test_roundtrip(self, n):
+        tree = BPlusTree(branching=4)
+        tree.bulk_load(pairs(n))
+        tree.validate()
+        assert len(tree) == n
+        assert list(tree.items()) == pairs(n)
+
+    @pytest.mark.parametrize("fill", [0.5, 0.7, 1.0])
+    def test_fill_factors_valid(self, fill):
+        tree = BPlusTree(branching=8)
+        tree.bulk_load(pairs(500), fill=fill)
+        tree.validate()
+        assert list(tree.keys()) == list(range(500))
+
+    def test_lower_fill_makes_more_leaves(self):
+        dense = BPlusTree(branching=8)
+        dense.bulk_load(pairs(500), fill=1.0)
+        sparse = BPlusTree(branching=8)
+        sparse.bulk_load(pairs(500), fill=0.5)
+        assert sparse.node_counts()[1] > dense.node_counts()[1]
+
+    def test_bad_fill_rejected(self):
+        tree = BPlusTree()
+        with pytest.raises(InvalidParameterError):
+            tree.bulk_load(pairs(5), fill=0.0)
+        with pytest.raises(InvalidParameterError):
+            tree.bulk_load(pairs(5), fill=1.5)
+
+    def test_non_empty_tree_rejected(self):
+        tree = BPlusTree()
+        tree.insert(1, 1)
+        with pytest.raises(InvalidParameterError):
+            tree.bulk_load(pairs(5))
+
+    def test_unsorted_rejected(self):
+        tree = BPlusTree()
+        with pytest.raises(NotSortedError):
+            tree.bulk_load([(2, 0), (1, 0)])
+
+    def test_duplicate_keys_rejected(self):
+        tree = BPlusTree()
+        with pytest.raises(NotSortedError):
+            tree.bulk_load([(1, 0), (1, 1)])
+
+    def test_bulk_then_mutate(self):
+        tree = BPlusTree(branching=4)
+        tree.bulk_load(pairs(200))
+        for i in range(200, 260):
+            tree.insert(i, i * 3)
+        for i in range(0, 100, 2):
+            tree.delete(i)
+        tree.validate()
+        assert len(tree) == 260 - 50
+
+    def test_bulk_equivalent_to_inserts(self):
+        bulk = BPlusTree(branching=5)
+        bulk.bulk_load(pairs(333))
+        incremental = BPlusTree(branching=5)
+        for k, v in pairs(333):
+            incremental.insert(k, v)
+        assert list(bulk.items()) == list(incremental.items())
+
+    def test_tail_leaf_not_underfull(self):
+        # n chosen so a naive chunking leaves a 1-element trailing leaf.
+        tree = BPlusTree(branching=16)
+        tree.bulk_load(pairs(16 * 5 + 1))
+        tree.validate()  # validate() checks min occupancy
+
+    def test_generator_input(self):
+        tree = BPlusTree()
+        tree.bulk_load(((i, i) for i in range(50)))
+        assert len(tree) == 50

@@ -1,0 +1,68 @@
+"""Decoupled leaf capacity vs branching, and reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_table, format_value
+from repro.btree import BPlusTree
+
+
+class TestLeafCapacityDecoupled:
+    @pytest.mark.parametrize("branching,leaf", [(4, 32), (32, 4), (3, 2), (16, 100)])
+    def test_mixed_capacities(self, branching, leaf):
+        tree = BPlusTree(branching=branching, leaf_capacity=leaf)
+        for i in range(500):
+            tree.insert(i, i)
+        tree.validate()
+        assert list(tree.keys()) == list(range(500))
+        for i in range(0, 500, 3):
+            tree.delete(i)
+        tree.validate()
+        assert len(tree) == 500 - 167
+
+    def test_wide_leaves_fewer_nodes(self):
+        narrow = BPlusTree(branching=16, leaf_capacity=4)
+        wide = BPlusTree(branching=16, leaf_capacity=64)
+        for i in range(1000):
+            narrow.insert(i, i)
+            wide.insert(i, i)
+        assert wide.node_counts()[1] < narrow.node_counts()[1]
+
+    def test_bulk_load_with_decoupled_capacity(self):
+        tree = BPlusTree(branching=4, leaf_capacity=50)
+        tree.bulk_load([(i, i) for i in range(777)], fill=0.8)
+        tree.validate()
+        assert len(tree) == 777
+
+
+class TestReporting:
+    def test_format_value_variants(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(0.0001) == "0.0001"
+        assert format_value(123.4567) == "123.5"
+        assert format_value(1.5) == "1.5"
+        assert format_value(12345) == "12,345"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        out = format_table(rows)
+        assert "a" in out and "b" in out
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]

@@ -1,0 +1,132 @@
+"""B+ tree deletion: borrow, merge, root collapse, full drains."""
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.core.errors import KeyNotFoundError
+
+
+def build(n, branching=4):
+    tree = BPlusTree(branching=branching)
+    for i in range(n):
+        tree.insert(i, i * 10)
+    return tree
+
+
+class TestDeleteBasics:
+    def test_delete_returns_value(self):
+        tree = build(10)
+        assert tree.delete(3) == 30
+        assert 3 not in tree
+        assert len(tree) == 9
+        tree.validate()
+
+    def test_delete_missing_raises(self):
+        tree = build(10)
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(99)
+
+    def test_delete_from_empty_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BPlusTree().delete(1)
+
+    def test_delitem(self):
+        tree = build(10)
+        del tree[4]
+        assert 4 not in tree
+
+    def test_pop_with_default(self):
+        tree = build(5)
+        assert tree.pop(2) == 20
+        assert tree.pop(2, "gone") == "gone"
+        with pytest.raises(KeyNotFoundError):
+            tree.pop(2)
+
+    def test_delete_last_key_empties_tree(self):
+        tree = build(1)
+        tree.delete(0)
+        assert len(tree) == 0
+        assert tree.height == 0
+        tree.validate()
+
+
+class TestRebalancing:
+    def test_drain_ascending(self):
+        tree = build(300)
+        for i in range(300):
+            tree.delete(i)
+            tree.validate()
+        assert len(tree) == 0
+
+    def test_drain_descending(self):
+        tree = build(300)
+        for i in range(299, -1, -1):
+            tree.delete(i)
+            tree.validate()
+        assert len(tree) == 0
+
+    def test_drain_from_middle_out(self):
+        tree = build(200)
+        order = sorted(range(200), key=lambda i: abs(i - 100))
+        for i in order:
+            tree.delete(i)
+            tree.validate()
+        assert len(tree) == 0
+
+    def test_alternating_delete_keeps_invariants(self):
+        tree = build(256, branching=5)
+        for i in range(0, 256, 2):
+            tree.delete(i)
+        tree.validate()
+        assert len(tree) == 128
+        assert list(tree.keys()) == list(range(1, 256, 2))
+
+    def test_root_collapses_when_single_child(self):
+        tree = build(100, branching=4)
+        h = tree.height
+        for i in range(95):
+            tree.delete(i)
+        tree.validate()
+        assert tree.height < h
+
+    def test_delete_then_reinsert(self):
+        tree = build(128)
+        for i in range(0, 128, 3):
+            tree.delete(i)
+        for i in range(0, 128, 3):
+            tree.insert(i, i * 10)
+        tree.validate()
+        assert len(tree) == 128
+        for i in range(128):
+            assert tree.get(i) == i * 10
+
+    def test_delete_separator_key_keeps_routing(self):
+        # Deleting keys that appear as inner separators must not break
+        # descent (separators may legally reference absent keys).
+        tree = build(200, branching=4)
+        root_keys = list(tree._root.keys)
+        for key in root_keys:
+            tree.delete(key)
+        tree.validate()
+        for key in root_keys:
+            assert key not in tree
+            tree.insert(key, "back")
+            assert tree.get(key) == "back"
+
+
+class TestDeleteRandomized:
+    @pytest.mark.parametrize("branching", [3, 4, 8, 16])
+    def test_random_interleaving(self, branching, rng):
+        tree = BPlusTree(branching=branching)
+        model = {}
+        keys = rng.permutation(400)
+        for k in keys:
+            tree.insert(int(k), int(k))
+            model[int(k)] = int(k)
+        delete_order = rng.permutation(400)
+        for i, k in enumerate(delete_order):
+            assert tree.delete(int(k)) == model.pop(int(k))
+            if i % 37 == 0:
+                tree.validate()
+                assert len(tree) == len(model)
+        assert len(tree) == 0

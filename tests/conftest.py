@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_keys(rng):
+    """10k sorted unique-ish uniform keys."""
+    return np.sort(rng.uniform(0.0, 1e6, 10_000))
+
+
+@pytest.fixture
+def small_keys(rng):
+    """500 sorted keys with a few duplicates mixed in."""
+    keys = rng.uniform(0.0, 1e4, 480)
+    dups = rng.choice(keys, 20)
+    out = np.sort(np.concatenate([keys, dups]))
+    return out
+
+
+@pytest.fixture
+def periodic_keys():
+    """2k keys from a bursty process (strong local slope changes)."""
+    rng = np.random.default_rng(7)
+    bursts = []
+    t = 0.0
+    for _ in range(20):
+        t += rng.uniform(50.0, 500.0)
+        bursts.append(t + np.sort(rng.uniform(0.0, 5.0, 100)))
+    return np.concatenate(bursts)

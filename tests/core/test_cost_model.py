@@ -1,0 +1,175 @@
+"""Cost model: formulas, monotonicity, the two DBA selectors."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, CostModelParams, DEFAULT_ERROR_GRID
+from repro.core.errors import InvalidParameterError
+from repro.core.fiting_tree import FITingTree
+from repro.core.segmentation import shrinking_cone
+
+
+@pytest.fixture
+def keys(periodic_keys):
+    return periodic_keys
+
+
+@pytest.fixture
+def model(keys):
+    return CostModel.learned(keys, params=CostModelParams(c_ns=100.0))
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CostModelParams(c_ns=0)
+        with pytest.raises(InvalidParameterError):
+            CostModelParams(branching=1)
+        with pytest.raises(InvalidParameterError):
+            CostModelParams(fill=0.0)
+        with pytest.raises(InvalidParameterError):
+            CostModelParams(fill=1.5)
+        with pytest.raises(InvalidParameterError):
+            CostModelParams(seq_ns=-1)
+
+
+class TestSegmentsFn:
+    def test_learned_matches_direct_segmentation(self, keys, model):
+        for error in (8, 32):
+            # The model segments at the post-buffer threshold.
+            seg_threshold = max(1, error - error // 2)
+            direct = len(shrinking_cone(keys, seg_threshold))
+            assert model._effective_segments(error, error // 2) == direct
+
+    def test_learned_memoizes(self, keys, monkeypatch):
+        import repro.core.cost_model as cm
+
+        calls = []
+        real = cm.shrinking_cone
+
+        def spy(*args, **kwargs):
+            calls.append(args[1])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cm, "shrinking_cone", spy)
+        model = CostModel.learned(keys)
+        model.segments(16)
+        model.segments(16)  # second call must hit the memo, not segment
+        assert len(calls) == 1
+
+    def test_worst_case_formula(self):
+        model = CostModel.worst_case(10_000)
+        assert model.segments(99) == 100
+        assert model.segments(10_000_000) == 1
+
+    def test_invalid_segments_fn_rejected(self):
+        model = CostModel(lambda e: 0, n=10)
+        with pytest.raises(InvalidParameterError):
+            model.segments(5)
+
+
+class TestLatencyModel:
+    def test_positive_and_finite(self, model):
+        for error in (4, 64, 1024):
+            lat = model.lookup_latency_ns(error)
+            assert 0 < lat < 1e7
+
+    def test_scales_with_c(self, keys):
+        slow = CostModel.learned(keys, params=CostModelParams(c_ns=200.0))
+        fast = CostModel.learned(keys, params=CostModelParams(c_ns=50.0))
+        assert slow.lookup_latency_ns(64) == pytest.approx(
+            4 * fast.lookup_latency_ns(64)
+        )
+
+    def test_window_term_grows_with_error(self, model):
+        # For large errors the log2(e) term dominates: latency grows.
+        assert model.lookup_latency_ns(2**14) > model.lookup_latency_ns(2**6)
+
+    def test_invalid_error_rejected(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.lookup_latency_ns(0)
+
+    def test_insert_latency_positive(self, model):
+        for error in (8, 128):
+            assert model.insert_latency_ns(error) > 0
+
+    def test_insert_needs_buffer(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.insert_latency_ns(8, buffer_size=0)
+
+
+class TestSizeModel:
+    def test_size_decreases_with_error(self, model):
+        sizes = [model.size_bytes(e) for e in (4, 32, 256, 2048)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_size_is_pessimistic_vs_built_index(self, keys):
+        model = CostModel.learned(keys)
+        for error in (8, 32, 128):
+            index = FITingTree(keys, error=error, buffer_capacity=error // 2)
+            assert model.size_bytes(error) >= index.model_bytes()
+
+    def test_latency_estimate_upper_bounds_flat_cost(self, keys):
+        """Estimate >= access-counted cost at the same c (paper Fig 10a)."""
+        from repro.memsim import LatencyModel
+        from repro.workloads import run_lookups, uniform_lookups
+
+        c = 50.0
+        model = CostModel.learned(keys, params=CostModelParams(c_ns=c))
+        queries = uniform_lookups(keys, 500, seed=1)
+        for error in (16, 64):
+            index = FITingTree(keys, error=error, buffer_capacity=error // 2)
+            res = run_lookups(index, queries, latency_model=LatencyModel(c=c))
+            assert model.lookup_latency_ns(error) >= res.modeled_ns_per_op
+
+
+class TestSelectors:
+    def test_latency_selector_meets_sla(self, model):
+        sla = model.lookup_latency_ns(64) + 1
+        chosen = model.pick_error_for_latency(sla, candidates=(16, 64, 256))
+        assert model.lookup_latency_ns(chosen) <= sla
+
+    def test_latency_selector_minimizes_size(self, model):
+        # A generous SLA admits every candidate: pick the smallest index.
+        chosen = model.pick_error_for_latency(1e9, candidates=(16, 64, 256))
+        assert chosen == 256
+
+    def test_latency_selector_infeasible_raises(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.pick_error_for_latency(1.0, candidates=(16, 64))
+
+    def test_size_selector_meets_budget(self, model):
+        budget = model.size_bytes(64) + 1
+        chosen = model.pick_error_for_size(budget, candidates=(16, 64, 256))
+        assert model.size_bytes(chosen) <= budget
+
+    def test_size_selector_minimizes_latency(self, model):
+        # Unlimited budget: pick the fastest (smallest feasible latency).
+        chosen = model.pick_error_for_size(1e12, candidates=(16, 64, 256))
+        latencies = {e: model.lookup_latency_ns(e) for e in (16, 64, 256)}
+        assert latencies[chosen] == min(latencies.values())
+
+    def test_size_selector_infeasible_raises(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.pick_error_for_size(1.0, candidates=(16,))
+
+    def test_default_grid_is_usable(self, model):
+        chosen = model.pick_error_for_size(1e12, candidates=DEFAULT_ERROR_GRID)
+        assert chosen in DEFAULT_ERROR_GRID
+
+
+class TestEndToEndSLA:
+    def test_chosen_error_honors_simulated_sla(self, keys):
+        """The full DBA loop: pick from SLA, build, measure, verify."""
+        from repro.memsim import LatencyModel
+        from repro.workloads import run_lookups, uniform_lookups
+
+        c = 50.0
+        model = CostModel.learned(keys, params=CostModelParams(c_ns=c))
+        sla_ns = 900.0
+        error = model.pick_error_for_latency(sla_ns, candidates=(8, 32, 128, 512))
+        index = FITingTree(keys, error=error, buffer_capacity=int(error) // 2)
+        res = run_lookups(
+            index, uniform_lookups(keys, 500, seed=2),
+            latency_model=LatencyModel(c=c),
+        )
+        assert res.modeled_ns_per_op <= sla_ns

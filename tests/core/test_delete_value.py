@@ -1,0 +1,76 @@
+"""delete_value / delete_row: removing a specific (key, payload) pair."""
+
+import numpy as np
+import pytest
+
+from repro.core.fiting_tree import FITingTree
+from repro.core.secondary import SecondaryFITingTree
+
+
+class TestDeleteValue:
+    def test_removes_only_matching_payload(self):
+        keys = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+        values = np.array([10, 20, 21, 22, 30])
+        t = FITingTree(keys, values, error=8, buffer_capacity=2)
+        assert t.delete_value(2.0, 21)
+        assert sorted(t.lookup_all(2.0)) == [20, 22]
+        assert len(t) == 4
+        t.validate()
+
+    def test_no_match_returns_false(self):
+        t = FITingTree(np.array([1.0, 2.0]), np.array([10, 20]), error=8,
+                       buffer_capacity=2)
+        assert not t.delete_value(2.0, 999)
+        assert not t.delete_value(5.0, 10)
+        assert len(t) == 2
+
+    def test_matches_in_buffer(self):
+        t = FITingTree(np.arange(100.0), error=16, buffer_capacity=8)
+        t.insert(50.5, 777)
+        t.insert(50.5, 778)
+        assert t.delete_value(50.5, 778)
+        assert t.lookup_all(50.5) == [777]
+        t.validate()
+
+    def test_read_only_rejected(self):
+        from repro.core.errors import InvalidParameterError
+
+        t = FITingTree(np.arange(10.0), error=8, buffer_capacity=0)
+        with pytest.raises(InvalidParameterError):
+            t.delete_value(1.0, 1)
+
+    def test_across_split_duplicate_run(self):
+        keys = np.sort(np.concatenate([np.full(50, 5.0), np.arange(50.0) + 100]))
+        t = FITingTree(keys, error=4, buffer_capacity=2)
+        rows = t.lookup_all(5.0)
+        victim = rows[25]
+        assert t.delete_value(5.0, victim)
+        remaining = t.lookup_all(5.0)
+        assert victim not in remaining
+        assert len(remaining) == 49
+        t.validate()
+
+    def test_rebuild_after_many_value_deletes(self):
+        keys = np.arange(1000, dtype=np.float64)
+        t = FITingTree(keys, error=16, buffer_capacity=4)
+        for i in range(200, 220):
+            assert t.delete_value(float(i), i)
+        t.validate()
+        assert t.get(199.0) == 199
+        assert t.get(205.0) is None
+
+
+class TestSecondaryDeleteRow:
+    def test_delete_specific_row(self):
+        column = np.array([7.0, 7.0, 7.0, 3.0])
+        idx = SecondaryFITingTree(column, error=8, buffer_capacity=2)
+        assert idx.delete_row(7.0, 1)
+        assert sorted(idx.lookup(7.0)) == [0, 2]
+        idx.validate()
+
+    def test_delete_row_absent(self):
+        column = np.array([7.0, 3.0])
+        idx = SecondaryFITingTree(column, error=8, buffer_capacity=2)
+        assert not idx.delete_row(7.0, 99)
+        assert not idx.delete_row(1.0, 0)
+        assert len(idx) == 2

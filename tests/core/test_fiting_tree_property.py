@@ -1,0 +1,97 @@
+"""Property tests: the FITing-Tree behaves like a sorted multimap."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fiting_tree import FITingTree
+
+key_st = st.integers(min_value=0, max_value=300).map(float)
+build_st = st.lists(key_st, max_size=150).map(sorted)
+error_st = st.integers(min_value=2, max_value=64)
+
+
+@given(keys=build_st, error=error_st, queries=st.lists(key_st, max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_lookup_all_matches_multiset(keys, error, queries):
+    arr = np.asarray(keys, dtype=np.float64)
+    tree = FITingTree(arr, error=error, buffer_capacity=error // 2)
+    model = Counter(keys)
+    for q in queries + keys[:10]:
+        assert len(tree.lookup_all(q)) == model[q]
+        assert (q in tree) == (model[q] > 0)
+    tree.validate()
+
+
+@given(
+    keys=build_st,
+    error=error_st,
+    inserts=st.lists(key_st, max_size=80),
+)
+@settings(max_examples=120, deadline=None)
+def test_inserts_preserve_multiset(keys, error, inserts):
+    arr = np.asarray(keys, dtype=np.float64)
+    tree = FITingTree(arr, error=error, buffer_capacity=max(1, error // 2))
+    model = Counter(keys)
+    for k in inserts:
+        tree.insert(k)
+        model[k] += 1
+    tree.validate()
+    assert len(tree) == sum(model.values())
+    for q in set(inserts) | set(keys[:5]):
+        assert len(tree.lookup_all(q)) == model[q]
+    # Full iteration yields the sorted multiset.
+    iterated = [k for k, _ in tree.items()]
+    assert iterated == sorted(model.elements())
+
+
+@given(
+    keys=build_st,
+    error=error_st,
+    ops=st.lists(st.tuples(st.booleans(), key_st), max_size=80),
+)
+@settings(max_examples=100, deadline=None)
+def test_mixed_insert_delete(keys, error, ops):
+    arr = np.asarray(keys, dtype=np.float64)
+    tree = FITingTree(arr, error=error, buffer_capacity=max(1, error // 2))
+    model = Counter(keys)
+    for is_insert, k in ops:
+        if is_insert or model[k] == 0:
+            tree.insert(k)
+            model[k] += 1
+        else:
+            tree.delete(k)
+            model[k] -= 1
+    tree.validate()
+    assert len(tree) == sum(model.values())
+    for q in {k for _, k in ops}:
+        assert len(tree.lookup_all(q)) == model[q]
+
+
+@given(
+    keys=build_st,
+    error=error_st,
+    lo=key_st,
+    span=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=120, deadline=None)
+def test_range_matches_filter(keys, error, lo, span):
+    hi = lo + span
+    arr = np.asarray(keys, dtype=np.float64)
+    tree = FITingTree(arr, error=error, buffer_capacity=0)
+    got = [k for k, _ in tree.range_items(lo, hi)]
+    assert got == [k for k in keys if lo <= k <= hi]
+
+
+@given(keys=build_st, error=error_st, queries=st.lists(key_st, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_bulk_lookup_equals_get(keys, error, queries):
+    if not queries:
+        return
+    arr = np.asarray(keys, dtype=np.float64)
+    tree = FITingTree(arr, error=error, buffer_capacity=0)
+    assert tree.bulk_lookup(queries, default=-1) == [
+        tree.get(q, -1) for q in queries
+    ]

@@ -1,0 +1,87 @@
+"""Stateful property testing: the FITing-Tree vs a sorted-multimap model.
+
+Hypothesis drives arbitrary interleavings of insert/delete/get/range
+operations against both the index and a plain dict-of-counters model; after
+every step the index must agree with the model, and structural invariants
+must hold at teardown.
+"""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.fiting_tree import FITingTree
+
+KEYS = st.integers(min_value=0, max_value=120).map(float)
+
+
+class FITingTreeMachine(RuleBasedStateMachine):
+    @initialize(
+        build_keys=st.lists(KEYS, max_size=60).map(sorted),
+        error=st.integers(min_value=2, max_value=32),
+    )
+    def build(self, build_keys, error):
+        self.index = FITingTree(
+            np.asarray(build_keys, dtype=np.float64),
+            error=error,
+            buffer_capacity=max(1, error // 2),
+        )
+        self.model = Counter(build_keys)
+        self.ops = 0
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        self.index.insert(key)
+        self.model[key] += 1
+        self.ops += 1
+
+    @rule(key=KEYS)
+    def delete_if_present(self, key):
+        if self.model[key] > 0:
+            self.index.delete(key)
+            self.model[key] -= 1
+        else:
+            try:
+                self.index.delete(key)
+                raise AssertionError("delete of absent key must raise")
+            except KeyError:
+                pass
+        self.ops += 1
+
+    @rule(key=KEYS)
+    def get_agrees(self, key):
+        present = self.model[key] > 0
+        assert (key in self.index) == present
+        assert len(self.index.lookup_all(key)) == self.model[key]
+
+    @rule(lo=KEYS, span=st.integers(min_value=0, max_value=40))
+    def range_agrees(self, lo, span):
+        hi = lo + span
+        got = [k for k, _ in self.index.range_items(lo, hi)]
+        expected = sorted(
+            k for k in self.model.elements() if lo <= k <= hi
+        )
+        assert got == expected
+
+    @invariant()
+    def size_agrees(self):
+        if hasattr(self, "model"):
+            assert len(self.index) == sum(self.model.values())
+
+    def teardown(self):
+        if hasattr(self, "index"):
+            self.index.validate()
+
+
+TestFITingTreeStateful = FITingTreeMachine.TestCase
+TestFITingTreeStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

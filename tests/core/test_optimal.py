@@ -1,0 +1,159 @@
+"""Optimal segmentation: cross-validation against brute force and greedy."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.optimal import (
+    cone_bounds,
+    optimal_count_bruteforce,
+    optimal_segment_count,
+    optimal_segments,
+    optimal_segments_endpoint,
+)
+from repro.core.segment import verify_segments
+from repro.core.segmentation import shrinking_cone
+from repro.datasets import adversarial_keys
+
+
+def random_keys(seed, n, dup_frac=0.3):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0, 200, n)
+    n_dup = int(n * dup_frac)
+    if n_dup:
+        base[:n_dup] = rng.choice(base[n_dup:], n_dup)
+    return np.sort(base)
+
+
+class TestFreeSlopeOptimal:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce(self, seed):
+        keys = random_keys(seed, 40)
+        for error in (1.0, 3.0, 9.0):
+            expected = optimal_count_bruteforce(keys, error, "free")
+            assert len(optimal_segments(keys, error)) == expected
+            assert optimal_segment_count(keys, error) == expected
+
+    def test_segments_are_valid(self, periodic_keys):
+        for error in (3, 11, 47):
+            segs = optimal_segments(periodic_keys, error)
+            verify_segments(periodic_keys, segs, error)
+
+    def test_never_more_than_greedy(self, periodic_keys):
+        for error in (2, 5, 20, 80):
+            opt = optimal_segment_count(periodic_keys, error)
+            greedy = len(shrinking_cone(periodic_keys, error))
+            assert opt <= greedy
+
+    def test_count_equals_segments_len(self, periodic_keys):
+        for error in (4, 16):
+            assert optimal_segment_count(periodic_keys, error) == len(
+                optimal_segments(periodic_keys, error)
+            )
+
+    def test_linear_data_single_segment(self):
+        keys = np.arange(5_000, dtype=np.float64)
+        assert optimal_segment_count(keys, 1) == 1
+
+    def test_empty_and_single(self):
+        assert optimal_segments([], 5) == []
+        assert optimal_segment_count([], 5) == 0
+        assert len(optimal_segments([3.0], 5)) == 1
+
+    def test_duplicates(self):
+        keys = np.array([1.0] * 30)
+        # Duplicate runs force ceil(30 / (e+1)) segments even for optimal.
+        assert optimal_segment_count(keys, 9) == 3
+
+    def test_monotone_in_error(self, periodic_keys):
+        counts = [
+            optimal_segment_count(periodic_keys, e) for e in (2, 8, 32, 128)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestEndpointOptimal:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce(self, seed):
+        keys = random_keys(seed, 35)
+        for error in (1.0, 3.0, 9.0):
+            expected = optimal_count_bruteforce(keys, error, "endpoint")
+            got = len(optimal_segments_endpoint(keys, error))
+            assert got == expected
+
+    def test_segments_are_valid(self, periodic_keys):
+        keys = periodic_keys[:600]
+        for error in (3, 11):
+            segs = optimal_segments_endpoint(keys, error)
+            verify_segments(keys, segs, error)
+
+    def test_free_never_worse_than_endpoint(self):
+        for seed in range(6):
+            keys = random_keys(seed + 100, 60)
+            for error in (2.0, 6.0):
+                free = optimal_segment_count(keys, error)
+                endpoint = len(optimal_segments_endpoint(keys, error))
+                assert free <= endpoint
+
+    def test_greedy_vs_endpoint_on_real_shape(self, periodic_keys):
+        keys = periodic_keys[:800]
+        error = 5.0
+        greedy = len(shrinking_cone(keys, error))
+        endpoint = len(optimal_segments_endpoint(keys, error))
+        assert endpoint <= greedy
+
+    def test_size_guard(self):
+        keys = np.arange(100, dtype=np.float64)
+        with pytest.raises(InvalidParameterError, match="max_n"):
+            optimal_segments_endpoint(keys, 5, max_n=50)
+        # Explicit override works.
+        segs = optimal_segments_endpoint(keys, 5, max_n=100)
+        assert len(segs) == 1
+
+    def test_empty_and_single(self):
+        assert optimal_segments_endpoint([], 5) == []
+        assert len(optimal_segments_endpoint([1.0], 5)) == 1
+
+    def test_all_duplicates(self):
+        keys = np.array([2.0] * 25)
+        segs = optimal_segments_endpoint(keys, 9.0)
+        assert len(segs) == 3
+        verify_segments(keys, segs, 9.0)
+
+
+class TestAdversarial:
+    """Appendix A.3: greedy produces N+2 segments, optimal stays O(1)."""
+
+    @pytest.mark.parametrize("n_patterns", [0, 3, 25])
+    def test_greedy_count_exact(self, n_patterns):
+        keys = adversarial_keys(n_patterns, error=100)
+        greedy = len(shrinking_cone(keys, 100))
+        assert greedy == n_patterns + 2
+
+    @pytest.mark.parametrize("n_patterns", [3, 25])
+    def test_optimal_constant(self, n_patterns):
+        keys = adversarial_keys(n_patterns, error=100)
+        assert optimal_segment_count(keys, 100) <= 2
+
+    def test_endpoint_optimal_small(self):
+        keys = adversarial_keys(5, error=100)
+        assert len(optimal_segments_endpoint(keys, 100)) <= 3
+
+    def test_ratio_grows_linearly(self):
+        r10 = len(shrinking_cone(adversarial_keys(10, 100), 100))
+        r40 = len(shrinking_cone(adversarial_keys(40, 100), 100))
+        assert r40 - r10 == 30
+
+
+class TestConeBounds:
+    def test_feasible_interval_contains_obvious_slope(self):
+        keys = np.arange(100, dtype=np.float64)
+        lo, hi = cone_bounds(keys, 0, 100, error=1)
+        assert lo <= 1.0 <= hi
+
+    def test_infeasible_raises(self):
+        from repro.core.errors import SegmentationError
+
+        keys = np.array([0.0] * 50)  # 50 duplicates, error 3: infeasible
+        with pytest.raises(SegmentationError):
+            cone_bounds(keys, 0, 50, error=3)

@@ -1,0 +1,137 @@
+"""In-segment search strategies: binary vs linear vs exponential.
+
+All three must return identical results (first occurrence or miss) on every
+workload; they differ only in probe counts. Paper Section 4.1.2.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.fiting_tree import FITingTree
+from repro.core.page import SegmentPage
+from repro.memsim import AccessCounter
+
+MODES = ("binary", "linear", "exponential")
+
+
+def linear_page(n=200):
+    keys = np.arange(n, dtype=np.float64)
+    return SegmentPage(0.0, 1.0, keys, np.arange(n, dtype=np.int64))
+
+
+def skewed_page():
+    # Imperfect slope: predictions are off by up to ~5 positions.
+    rng = np.random.default_rng(0)
+    keys = np.sort(rng.uniform(0, 100, 200))
+    span = keys[-1] - keys[0]
+    return SegmentPage(float(keys[0]), 199 / span, keys, np.arange(200))
+
+
+class TestModesAgree:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_hits_on_linear_page(self, mode):
+        page = linear_page()
+        for i in range(0, 200, 13):
+            assert page.find_in_data(float(i), 8, mode=mode) == i
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_misses_on_linear_page(self, mode):
+        page = linear_page()
+        assert page.find_in_data(13.5, 8, mode=mode) == -1
+        assert page.find_in_data(-100.0, 8, mode=mode) == -1
+        assert page.find_in_data(1e9, 8, mode=mode) == -1
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_skewed_predictions(self, mode):
+        page = skewed_page()
+        for i in range(0, 200, 7):
+            assert page.find_in_data(float(page.keys[i]), 8, mode=mode) == (
+                page.find_in_data(float(page.keys[i]), 8, mode="binary")
+            )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_first_occurrence_of_duplicates(self, mode):
+        keys = np.array([0.0, 1.0, 2.0, 2.0, 2.0, 3.0, 4.0, 5.0])
+        page = SegmentPage(0.0, 1.4, keys, np.arange(8))
+        assert page.find_in_data(2.0, 8, mode=mode) == 2
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            linear_page().find_in_data(1.0, 8, mode="quantum")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_empty_page(self, mode):
+        page = SegmentPage(0.0, 1.0, np.empty(0), np.empty(0, dtype=np.int64))
+        assert page.find_in_data(1.0, 8, mode=mode) == -1
+
+
+class TestProbeAccounting:
+    def test_linear_cheap_when_prediction_exact(self):
+        page = linear_page()
+        counter = AccessCounter()
+        page.find_in_data(100.0, 50, counter, mode="linear")
+        assert counter.segment_probes <= 2
+
+    def test_binary_pays_for_window(self):
+        page = linear_page()
+        counter = AccessCounter()
+        page.find_in_data(100.0, 50, counter, mode="binary")
+        assert counter.segment_probes >= 6  # ~log2(100)
+
+    def test_exponential_between(self):
+        page = linear_page()
+        exp_counter = AccessCounter()
+        page.find_in_data(100.0, 50, exp_counter, mode="exponential")
+        bin_counter = AccessCounter()
+        page.find_in_data(100.0, 50, bin_counter, mode="binary")
+        assert exp_counter.segment_probes <= bin_counter.segment_probes
+
+    def test_linear_explodes_with_bad_prediction(self):
+        page = skewed_page()
+        # Find the worst-predicted key and compare probe counts.
+        worst = max(
+            range(200),
+            key=lambda i: abs(page.window(float(page.keys[i]), 0)[0] - i),
+        )
+        counter = AccessCounter()
+        page.find_in_data(float(page.keys[worst]), 50, counter, mode="linear")
+        assert counter.segment_probes >= 1
+
+
+class TestIndexLevel:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_index_results_identical(self, uniform_keys, mode):
+        baseline = FITingTree(uniform_keys, error=64, buffer_capacity=0)
+        index = FITingTree(
+            uniform_keys, error=64, buffer_capacity=0, search=mode
+        )
+        queries = np.concatenate(
+            [uniform_keys[::101], uniform_keys[::97] + 0.25]
+        )
+        assert index.bulk_lookup(queries, -1) == baseline.bulk_lookup(queries, -1)
+
+    def test_invalid_search_rejected(self, uniform_keys):
+        with pytest.raises(InvalidParameterError):
+            FITingTree(uniform_keys, error=64, search="bogus")
+
+
+key_list_st = st.lists(
+    st.integers(min_value=0, max_value=400).map(float),
+    min_size=1,
+    max_size=200,
+).map(sorted)
+
+
+@given(keys=key_list_st, error=st.integers(min_value=2, max_value=64),
+       probe=st.integers(min_value=-10, max_value=410).map(float))
+@settings(max_examples=150, deadline=None)
+def test_property_modes_equivalent(keys, error, probe):
+    arr = np.asarray(keys)
+    results = set()
+    for mode in MODES:
+        index = FITingTree(arr, error=error, buffer_capacity=0, search=mode)
+        results.add(index.get(probe, default=-1))
+    assert len(results) == 1

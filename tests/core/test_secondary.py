@@ -1,0 +1,118 @@
+"""Secondary (non-clustered) index: duplicates, rowids, ranges, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.secondary import SecondaryFITingTree
+
+
+@pytest.fixture
+def column(rng):
+    # Unsorted column with heavy duplication (100 distinct values).
+    return rng.choice(np.linspace(0, 99, 100), 5_000)
+
+
+class TestBuild:
+    def test_empty(self):
+        idx = SecondaryFITingTree(error=16)
+        assert len(idx) == 0
+        assert idx.lookup(1.0) == []
+
+    def test_rowid_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            SecondaryFITingTree([1.0, 2.0], rowids=[0], error=16)
+
+    def test_compresses_vs_elements(self, column):
+        idx = SecondaryFITingTree(column, error=64)
+        assert idx.n_segments < len(column) / 20
+
+
+class TestLookup:
+    def test_finds_all_matching_rows(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        for value in (0.0, 42.0, 99.0):
+            expected = set(np.flatnonzero(column == value).tolist())
+            assert set(idx.lookup(value)) == expected
+
+    def test_duplicates_in_table_order(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        rows = idx.lookup(7.0)
+        assert rows == sorted(rows)  # stable sort keeps table order
+
+    def test_missing_value(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        assert idx.lookup(123.456) == []
+        assert idx.get(123.456) is None
+        assert idx.get(123.456, -1) == -1
+        assert 123.456 not in idx
+        assert 42.0 in idx
+
+    def test_custom_rowids(self):
+        column = np.array([5.0, 3.0, 5.0])
+        rowids = np.array([100, 200, 300])
+        idx = SecondaryFITingTree(column, rowids=rowids, error=8)
+        assert set(idx.lookup(5.0)) == {100, 300}
+        assert idx.lookup(3.0) == [200]
+
+    def test_bulk_lookup(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        out = idx.bulk_lookup([0.0, 123.456], default=-1)
+        assert out[1] == -1
+        assert out[0] in set(np.flatnonzero(column == 0.0).tolist())
+
+
+class TestRange:
+    def test_range_rowids_complete(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        got = sorted(idx.range_rowids(10.0, 20.0))
+        expected = sorted(np.flatnonzero((column >= 10.0) & (column <= 20.0)).tolist())
+        assert got == expected
+
+    def test_range_items_value_order(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        values = [v for v, _ in idx.range_items(10.0, 20.0)]
+        assert values == sorted(values)
+
+    def test_items_cover_table(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        rowids = sorted(r for _, r in idx.items())
+        assert rowids == list(range(len(column)))
+
+
+class TestMutation:
+    def test_insert_new_row(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        idx.insert(55.5, 999_999)
+        assert 999_999 in idx.lookup(55.5)
+        assert len(idx) == len(column) + 1
+        idx.validate()
+
+    def test_delete_row(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        n_before = len(idx.lookup(42.0))
+        rowid = idx.delete(42.0)
+        assert len(idx.lookup(42.0)) == n_before - 1
+        assert rowid in set(np.flatnonzero(column == 42.0).tolist())
+        idx.validate()
+
+    def test_many_inserts(self, column, rng):
+        idx = SecondaryFITingTree(column, error=32)
+        for i, v in enumerate(rng.uniform(0, 99, 500)):
+            idx.insert(v, 10_000 + i)
+        idx.validate()
+        assert len(idx) == len(column) + 500
+
+
+class TestSizeAccounting:
+    def test_key_pages_constant_across_error(self, column):
+        coarse = SecondaryFITingTree(column, error=256)
+        fine = SecondaryFITingTree(column, error=8)
+        assert coarse.key_pages_bytes() == fine.key_pages_bytes()
+        assert coarse.model_bytes() < fine.model_bytes()
+
+    def test_stats(self, column):
+        idx = SecondaryFITingTree(column, error=32)
+        stats = idx.stats()
+        assert stats["key_pages_bytes"] == 16 * len(column)
+        assert stats["n_segments"] == idx.n_segments

@@ -1,0 +1,96 @@
+"""Segment dataclass and segmentation verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SegmentationError
+from repro.core.segment import Segment, max_deviation, verify_segments
+
+
+class TestSegment:
+    def test_predict_linear(self):
+        seg = Segment(start_key=10.0, start_pos=5, slope=2.0, length=20)
+        assert seg.predict(10.0) == 5.0
+        assert seg.predict(11.0) == 7.0
+        assert seg.predict(12.5) == 10.0
+
+    def test_predict_clamped_bounds(self):
+        seg = Segment(start_key=0.0, start_pos=100, slope=1.0, length=10)
+        assert seg.predict_clamped(-50.0) == 100
+        assert seg.predict_clamped(5.0) == 105
+        assert seg.predict_clamped(500.0) == 109
+
+    def test_local_offset(self):
+        seg = Segment(start_key=0.0, start_pos=100, slope=1.0, length=10)
+        assert seg.local_offset(3.0) == 3
+
+    def test_end_pos(self):
+        seg = Segment(start_key=0.0, start_pos=7, slope=0.0, length=3)
+        assert seg.end_pos == 10
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SegmentationError):
+            Segment(start_key=0.0, start_pos=0, slope=1.0, length=0)
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(SegmentationError):
+            Segment(start_key=0.0, start_pos=0, slope=-0.1, length=1)
+
+    def test_frozen(self):
+        seg = Segment(0.0, 0, 1.0, 1)
+        with pytest.raises(AttributeError):
+            seg.slope = 2.0
+
+
+class TestMaxDeviation:
+    def test_perfect_fit_zero(self):
+        keys = np.arange(100, dtype=np.float64)
+        seg = Segment(start_key=0.0, start_pos=0, slope=1.0, length=100)
+        assert max_deviation(keys, np.arange(100.0), seg) == 0.0
+
+    def test_known_deviation(self):
+        keys = np.array([0.0, 1.0, 2.0, 3.0])
+        # slope 0: predicted positions all 0; true 0..3 -> deviation 3.
+        seg = Segment(start_key=0.0, start_pos=0, slope=0.0, length=4)
+        assert max_deviation(keys, np.arange(4.0), seg) == 3.0
+
+
+class TestVerifySegments:
+    def test_accepts_valid(self):
+        keys = np.arange(50, dtype=np.float64)
+        segs = [
+            Segment(0.0, 0, 1.0, 25),
+            Segment(25.0, 25, 1.0, 25),
+        ]
+        verify_segments(keys, segs, error=1)
+
+    def test_rejects_gap(self):
+        keys = np.arange(50, dtype=np.float64)
+        segs = [Segment(0.0, 0, 1.0, 20), Segment(25.0, 25, 1.0, 25)]
+        with pytest.raises(SegmentationError, match="contiguous"):
+            verify_segments(keys, segs, error=1)
+
+    def test_rejects_wrong_start_key(self):
+        keys = np.arange(10, dtype=np.float64)
+        segs = [Segment(3.0, 0, 1.0, 10)]
+        with pytest.raises(SegmentationError, match="start key"):
+            verify_segments(keys, segs, error=1)
+
+    def test_rejects_error_violation(self):
+        keys = np.arange(10, dtype=np.float64)
+        segs = [Segment(0.0, 0, 0.0, 10)]  # slope 0 -> deviation up to 9
+        with pytest.raises(SegmentationError, match="error bound"):
+            verify_segments(keys, segs, error=2)
+
+    def test_rejects_incomplete_cover(self):
+        keys = np.arange(10, dtype=np.float64)
+        segs = [Segment(0.0, 0, 1.0, 5)]
+        with pytest.raises(SegmentationError, match="cover"):
+            verify_segments(keys, segs, error=1)
+
+    def test_empty_input_no_segments_ok(self):
+        verify_segments(np.empty(0), [], error=1)
+
+    def test_nonempty_input_no_segments_rejected(self):
+        with pytest.raises(SegmentationError):
+            verify_segments(np.arange(3.0), [], error=1)

@@ -1,0 +1,57 @@
+"""The paper's in-cone accept test is sufficient but NOT necessary.
+
+This is the documented deviation in DESIGN.md: the paper claims that a
+point falling outside the cone cannot extend the segment, but a concrete
+counterexample shows the slope-interval intersection can remain non-empty.
+These tests pin the counterexample and the relationship between the two
+accept tests.
+"""
+
+import numpy as np
+
+from repro.core.segment import verify_segments
+from repro.core.segmentation import exact_cone, shrinking_cone
+
+
+def test_counterexample_paper_rejects_exact_accepts():
+    # error = 10; origin (0, pos 0).
+    # A = key 100 at pos 5 (5 duplicates of origin first): hi = 15/100.
+    # B = key 101 at pos 20: s = 20/101 ~ 0.198 > hi = 0.15 -> paper splits.
+    # But lo_cand = 10/101 ~ 0.099 <= 0.15 -> intersection non-empty: a
+    # slope like 0.12 satisfies both |12-5|<=10 and |12.12-20|<=10.
+    keys = np.array([0.0] * 5 + [100.0] * 15 + [101.0])
+    error = 10.0
+    paper = shrinking_cone(keys, error, accept="paper")
+    exact = shrinking_cone(keys, error, accept="exact")
+    assert len(exact) < len(paper), (
+        "expected the exact test to accept a point the paper test rejects"
+    )
+    # Both outputs still satisfy the error bound.
+    verify_segments(keys, paper, error)
+    verify_segments(keys, exact, error)
+
+
+def test_exact_single_segment_on_counterexample():
+    keys = np.array([0.0] * 5 + [100.0] * 15 + [101.0])
+    exact = shrinking_cone(keys, 10.0, accept="exact")
+    assert len(exact) == 1
+
+
+def test_paper_test_is_sufficient():
+    """Everything the paper test produces is a valid segmentation."""
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        keys = np.sort(rng.uniform(0, 1000, 500))
+        for error in (2, 8):
+            verify_segments(keys, shrinking_cone(keys, error), error)
+
+
+def test_exact_upper_bounded_by_paper_everywhere():
+    rng = np.random.default_rng(1)
+    for trial in range(20):
+        n = int(rng.integers(2, 400))
+        keys = np.sort(rng.choice(rng.uniform(0, 500, n), n))
+        error = float(rng.uniform(0.5, 30))
+        paper = shrinking_cone(keys, error, accept="paper")
+        exact = exact_cone(keys, error)
+        assert len(exact) <= len(paper)

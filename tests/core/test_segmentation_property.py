@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the segmentation algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segment import verify_segments
+from repro.core.segmentation import (
+    max_segments_bound,
+    shrinking_cone,
+    shrinking_cone_reference,
+)
+
+# Sorted float arrays with duplicates, moderate sizes, finite values.
+sorted_keys_st = (
+    st.lists(
+        st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=300,
+    )
+    .map(sorted)
+    .map(lambda xs: np.asarray(xs, dtype=np.float64))
+)
+
+error_st = st.one_of(
+    st.integers(min_value=1, max_value=100).map(float),
+    st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+)
+
+accept_st = st.sampled_from(["paper", "exact"])
+
+
+@given(keys=sorted_keys_st, error=error_st, accept=accept_st)
+@settings(max_examples=200, deadline=None)
+def test_segments_cover_and_respect_error(keys, error, accept):
+    segs = shrinking_cone(keys, error, accept=accept)
+    verify_segments(keys, segs, error)
+
+
+@given(
+    keys=sorted_keys_st,
+    error=error_st,
+    accept=accept_st,
+    chunk=st.integers(min_value=2, max_value=64),
+)
+@settings(max_examples=150, deadline=None)
+def test_vectorized_equals_reference(keys, error, accept, chunk):
+    fast = shrinking_cone(keys, error, accept=accept, chunk=chunk)
+    ref = shrinking_cone_reference(keys, error, accept=accept)
+    assert fast == ref
+
+
+@given(keys=sorted_keys_st, error=error_st)
+@settings(max_examples=150, deadline=None)
+def test_exact_accept_never_worse(keys, error):
+    paper = shrinking_cone(keys, error, accept="paper")
+    exact = shrinking_cone(keys, error, accept="exact")
+    assert len(exact) <= len(paper)
+
+
+@given(keys=sorted_keys_st, error=st.integers(min_value=1, max_value=50))
+@settings(max_examples=150, deadline=None)
+def test_segment_count_within_element_bound(keys, error):
+    # For integer errors every non-final segment covers >= error+1 slots
+    # (Theorem 3.1 for distinct keys; duplicate-run splitting by
+    # construction), so |D|/(error+1) + 1 bounds the count even for
+    # duplicate-heavy inputs where the paper's |keys|/2 term fails
+    # (see max_segments_bound docstring).
+    segs = shrinking_cone(keys, float(error))
+    assert len(segs) <= len(keys) / (error + 1.0) + 1
+    for seg in segs[:-1]:
+        assert seg.length >= error + 1
+
+
+@given(keys=sorted_keys_st, error=st.integers(min_value=1, max_value=50))
+@settings(max_examples=100, deadline=None)
+def test_paper_bound_holds_without_long_duplicate_runs(keys, error):
+    _, counts = np.unique(keys, return_counts=True)
+    if counts.max() > error + 1:
+        return  # paper bound's precondition violated; covered above
+    segs = shrinking_cone(keys, float(error))
+    bound = max_segments_bound(len(counts), len(keys), float(error))
+    # +1 slack: a point exactly on the cone boundary can split one segment
+    # more than the real-arithmetic bound predicts (float rounding of
+    # s + err/d vs (y+err-y0)/d differs by an ulp).
+    assert len(segs) <= max(1.0, np.ceil(bound)) + 1
+
+
+@given(keys=sorted_keys_st, error=error_st)
+@settings(max_examples=100, deadline=None)
+def test_monotone_in_error(keys, error):
+    few = shrinking_cone(keys, error * 4)
+    many = shrinking_cone(keys, error)
+    assert len(few) <= len(many)
+
+
+@given(keys=sorted_keys_st, error=error_st)
+@settings(max_examples=100, deadline=None)
+def test_segment_starts_strictly_increase_positions(keys, error):
+    segs = shrinking_cone(keys, error)
+    positions = [s.start_pos for s in segs]
+    assert positions == sorted(set(positions))
+    lengths = sum(s.length for s in segs)
+    assert lengths == len(keys)

@@ -1,0 +1,154 @@
+"""String-key index: prefix encoding, collisions, ranges, mutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError, KeyNotFoundError
+from repro.core.strings import StringFITingTree, encode_prefix
+
+
+WORDS = sorted(
+    [
+        "alpha", "alphabet", "alphabetical", "alphanumeric", "beta",
+        "betamax", "gamma", "gamma-ray", "delta", "epsilon", "zeta", "eta",
+        "theta", "iota", "kappa", "lambda", "mu", "nu", "xi", "omicron",
+        "pi", "rho", "sigma", "tau", "upsilon", "phi", "chi", "psi", "omega",
+    ]
+)
+
+
+class TestEncoding:
+    def test_order_preserving(self):
+        rng = np.random.default_rng(0)
+        strings = sorted(
+            bytes(rng.integers(97, 123, size=rng.integers(0, 12)).tolist())
+            for _ in range(300)
+        )
+        encoded = [encode_prefix(s) for s in strings]
+        assert encoded == sorted(encoded)
+
+    def test_prefix_collision_is_equality(self):
+        assert encode_prefix("abcdefgh") == encode_prefix("abcdefzz")
+        assert encode_prefix("abcdef") == encode_prefix("abcdefXYZ")
+        assert encode_prefix("abcdeX") != encode_prefix("abcdeY")
+
+    def test_empty_and_short(self):
+        assert encode_prefix("") == 0.0
+        assert encode_prefix("a") < encode_prefix("b")
+
+    def test_bytes_and_str_agree(self):
+        assert encode_prefix("hello") == encode_prefix(b"hello")
+
+    def test_invalid_type(self):
+        with pytest.raises(InvalidParameterError):
+            encode_prefix(123)
+
+
+class TestStringIndex:
+    @pytest.fixture
+    def index(self):
+        return StringFITingTree(WORDS, error=8, buffer_capacity=2)
+
+    def test_every_key_found(self, index):
+        for i, word in enumerate(WORDS):
+            assert index.get(word) == i
+            assert word in index
+
+    def test_collisions_resolved_exactly(self, index):
+        # 'alphab...' words share the 6-byte prefix -> encoded duplicates.
+        assert encode_prefix("alphabet") == encode_prefix("alphabetical")
+        assert index.get("alphabet") == WORDS.index("alphabet")
+        assert index.get("alphabetical") == WORDS.index("alphabetical")
+        assert index.get("alphabZZZ") is None  # same prefix, not present
+
+    def test_missing(self, index):
+        assert index.get("nope") is None
+        with pytest.raises(KeyNotFoundError):
+            index["nope"]
+
+    def test_duplicate_strings(self):
+        keys = sorted(["dup", "dup", "dup", "other"])
+        idx = StringFITingTree(keys, error=4, buffer_capacity=1)
+        assert len(idx.lookup_all("dup")) == 3
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StringFITingTree(["b", "a"], error=8)
+
+    def test_values_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            StringFITingTree(["a", "b"], values=[1], error=8)
+
+    def test_custom_payloads(self):
+        idx = StringFITingTree(["a", "b"], values=["pay-a", "pay-b"], error=8)
+        assert idx.get("b") == "pay-b"
+
+    def test_range_items(self, index):
+        got = [k.decode() for k, _ in index.range_items("beta", "eta")]
+        expected = [w for w in WORDS if "beta" <= w <= "eta"]
+        assert got == expected
+
+    def test_range_boundary_prefix_filtering(self, index):
+        # Bounds inside a shared prefix group must filter exactly.
+        got = [k.decode() for k, _ in index.range_items("alphab", "alphan")]
+        assert got == ["alphabet", "alphabetical"]
+        got = [k.decode() for k, _ in index.range_items("alphabeta", "alphan")]
+        assert got == ["alphabetical"]
+
+    def test_prefix_items(self, index):
+        got = sorted(k.decode() for k, _ in index.prefix_items("alpha"))
+        assert got == ["alpha", "alphabet", "alphabetical", "alphanumeric"]
+        got = sorted(k.decode() for k, _ in index.prefix_items("gamma"))
+        assert got == ["gamma", "gamma-ray"]
+        assert list(index.prefix_items("zzz")) == []
+
+    def test_insert_and_lookup(self, index):
+        index.insert("newword", "fresh")
+        assert index.get("newword") == "fresh"
+        assert len(index) == len(WORDS) + 1
+        index.validate()
+
+    def test_insert_colliding_prefix(self, index):
+        index.insert("alphabetize", 999)  # shares the 6-byte prefix
+        assert index.get("alphabetize") == 999
+        assert index.get("alphabet") == WORDS.index("alphabet")
+        assert index.get("alphabetical") == WORDS.index("alphabetical")
+
+    def test_delete_exact_string_among_collisions(self, index):
+        n = len(index)
+        payload = index.delete("alphabet")
+        assert payload == WORDS.index("alphabet")
+        assert index.get("alphabet") is None
+        assert index.get("alphanumeric") == WORDS.index("alphanumeric")
+        assert len(index) == n - 1
+        index.validate()
+
+    def test_delete_missing_raises(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.delete("ghost")
+
+    def test_compression(self):
+        # Many sorted URLs: far fewer segments than keys.
+        urls = sorted(f"https://example.com/page/{i:08d}" for i in range(5_000))
+        idx = StringFITingTree(urls, error=64, buffer_capacity=0)
+        assert idx.n_segments < 500
+        assert idx.get(urls[1234]) == 1234
+
+    def test_stats(self, index):
+        assert index.stats()["n"] == len(WORDS)
+
+
+@given(
+    words=st.lists(
+        st.text(alphabet="abcdefg", max_size=10), min_size=1, max_size=80
+    ).map(sorted),
+    probes=st.lists(st.text(alphabet="abcdefg", max_size=10), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_string_index_matches_list(words, probes):
+    index = StringFITingTree(words, error=6, buffer_capacity=2)
+    for probe in probes + words[:5]:
+        expected = [i for i, w in enumerate(words) if w == probe]
+        assert sorted(index.lookup_all(probe)) == expected

@@ -1,0 +1,184 @@
+"""Per-dataset structure: each substitute must show the property the paper
+attributes to its real counterpart."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    adversarial_keys,
+    adversarial_n_for_elements,
+    get,
+    iot,
+    maps_longitude,
+    mixture_sorted,
+    poisson_from_hourly_profile,
+    step_data,
+    taxi_drop_lat,
+    taxi_drop_lon,
+    taxi_pickup_time,
+    weblogs,
+)
+
+_HOUR = 3600.0
+_DAY = 24 * _HOUR
+
+
+def hourly_counts(times, n_hours):
+    bins = np.arange(n_hours + 1) * _HOUR
+    counts, _ = np.histogram(times, bins=bins)
+    return counts
+
+
+class TestPoissonProfile:
+    def test_counts_follow_profile(self):
+        rates = np.array([0.0, 10.0, 0.0, 10.0])
+        times = poisson_from_hourly_profile(1_000, rates, seed=0)
+        counts = hourly_counts(times, 4)
+        assert counts[0] == 0 and counts[2] == 0
+        assert counts[1] + counts[3] == 1_000
+
+    def test_zero_mass_raises(self):
+        with pytest.raises(ValueError):
+            poisson_from_hourly_profile(10, np.zeros(5), seed=0)
+
+    def test_empty(self):
+        assert len(poisson_from_hourly_profile(0, np.ones(3), 0)) == 0
+
+
+class TestWeblogs:
+    def test_nights_quieter_than_days(self):
+        times = weblogs(50_000, seed=0, years=1)
+        hour_of_day = (times // _HOUR) % 24
+        night = np.sum((hour_of_day >= 1) & (hour_of_day < 5))
+        day = np.sum((hour_of_day >= 12) & (hour_of_day < 16))
+        assert day > 2 * night
+
+    def test_weekends_quieter(self):
+        times = weblogs(50_000, seed=0, years=1)
+        day_of_week = (times // _DAY) % 7
+        weekend_daily = np.sum(day_of_week >= 5) / 2
+        weekday_daily = np.sum(day_of_week < 5) / 5
+        assert weekday_daily > 1.5 * weekend_daily
+
+    def test_traffic_grows_over_years(self):
+        times = weblogs(100_000, seed=0, years=10)
+        span = times[-1]
+        first_half = np.sum(times < span / 2)
+        assert first_half < 50_000  # growth shifts mass to later years
+
+
+class TestIoT:
+    def test_working_hours_dominate(self):
+        times = iot(50_000, seed=0, days=28)
+        hour_of_day = (times // _HOUR) % 24
+        working = np.sum((hour_of_day >= 8) & (hour_of_day < 19))
+        assert working > 0.7 * 50_000
+
+    def test_weekends_nearly_silent(self):
+        times = iot(50_000, seed=0, days=28)
+        day_of_week = (times // _DAY) % 7
+        weekend_daily = np.sum(day_of_week >= 5) / 2
+        weekday_daily = np.sum(day_of_week < 5) / 5
+        assert weekday_daily > 5 * weekend_daily
+
+    def test_staircase_shape(self):
+        # Figure 1: large key gaps at night vs dense daytime keys. Compare
+        # the biggest inter-arrival gap to the median one.
+        times = iot(20_000, seed=0, days=14)
+        gaps = np.diff(times)
+        assert gaps.max() > 100 * np.median(gaps[gaps > 0])
+
+
+class TestTaxi:
+    def test_pickup_rush_hours(self):
+        times = taxi_pickup_time(50_000, seed=0, days=28)
+        day_of_week = (times // _DAY) % 7
+        weekday_times = times[day_of_week < 5]
+        hour_of_day = (weekday_times // _HOUR) % 24
+        evening_rush = np.sum((hour_of_day >= 17) & (hour_of_day < 20))
+        predawn = np.sum((hour_of_day >= 3) & (hour_of_day < 6))
+        assert evening_rush > 3 * predawn
+
+    def test_drop_coordinates_in_nyc_box(self):
+        lat = taxi_drop_lat(10_000, seed=0)
+        lon = taxi_drop_lon(10_000, seed=0)
+        assert lat.min() >= 40.5 and lat.max() <= 41.0
+        assert lon.min() >= -74.15 and lon.max() <= -73.65
+
+    def test_drop_lat_concentrated_midtown(self):
+        lat = taxi_drop_lat(10_000, seed=0)
+        near = np.sum(np.abs(lat - 40.75) < 0.08)
+        assert near > 5_000
+
+
+class TestMaps:
+    def test_longitude_range(self):
+        lon = maps_longitude(10_000, seed=0)
+        assert lon.min() >= -180.0 and lon.max() <= 180.0
+
+    def test_continental_clusters_present(self):
+        lon = maps_longitude(50_000, seed=0)
+        europe = np.sum(np.abs(lon - 10.0) < 15.0)
+        mid_pacific = np.sum(np.abs(lon + 160.0) < 15.0)
+        assert europe > 5 * mid_pacific
+
+    def test_locally_linear_at_small_scales(self):
+        # The paper's observation behind Figure 8: maps needs few segments
+        # per element at small error scales.
+        from repro.analysis import nonlinearity_ratio
+
+        lon = maps_longitude(30_000, seed=0)
+        assert nonlinearity_ratio(lon, 20) < 0.3
+
+    def test_mixture_sorted_weights(self):
+        keys = mixture_sorted(
+            10_000, 0, [(1.0, 0.0, 1.0)], uniform_weight=1.0,
+            uniform_range=(100.0, 200.0),
+        )
+        near_zero = np.sum(np.abs(keys) < 10.0)
+        in_uniform = np.sum((keys >= 100.0) & (keys <= 200.0))
+        assert abs(near_zero - in_uniform) < 1_000
+
+
+class TestStepData:
+    def test_structure(self):
+        keys = step_data(1_000, step=100)
+        assert len(keys) == 1_000
+        uniq, counts = np.unique(keys, return_counts=True)
+        assert np.all(counts == 100)
+        assert np.all(np.diff(uniq) == 100)
+
+    def test_truncation(self):
+        keys = step_data(250, step=100)
+        assert len(keys) == 250
+        assert np.sum(keys == 200.0) == 50
+
+
+class TestAdversarial:
+    def test_element_count_formula(self):
+        for n_patterns, error in [(0, 10), (5, 10), (3, 100)]:
+            keys = adversarial_keys(n_patterns, error)
+            assert len(keys) == 3 + (error + 2) + n_patterns * (error + 2) + 1
+
+    def test_sorted(self):
+        keys = adversarial_keys(10, 50)
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_n_for_elements_roundtrip(self):
+        for target in (200, 1_000, 5_000):
+            n = adversarial_n_for_elements(target, 100)
+            assert len(adversarial_keys(n, 100)) <= target
+            assert len(adversarial_keys(n + 1, 100)) > target
+
+    def test_invalid_params(self):
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            adversarial_keys(-1, 100)
+        with pytest.raises(InvalidParameterError):
+            adversarial_keys(5, 1)
+
+    def test_registry_pads_to_exact_n(self):
+        keys = get("adversarial", n=777, seed=0)
+        assert len(keys) == 777
+        assert np.all(np.diff(keys) >= 0)

@@ -1,0 +1,83 @@
+"""Dataset registry: determinism, sortedness, sizes, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets import get, names, register, spec
+
+
+EXPECTED = {
+    "adversarial",
+    "iot",
+    "lognormal",
+    "maps",
+    "osm_lon",
+    "step",
+    "taxi_drop_lat",
+    "taxi_drop_lon",
+    "taxi_pickup_time",
+    "uniform",
+    "weblogs",
+}
+
+
+def test_all_expected_datasets_registered():
+    assert EXPECTED <= set(names())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+class TestEveryDataset:
+    def test_sorted_and_sized(self, name):
+        keys = get(name, n=5_000, seed=0)
+        assert len(keys) == 5_000
+        assert keys.dtype == np.float64
+        assert np.all(np.diff(keys) >= 0)
+        assert np.all(np.isfinite(keys))
+
+    def test_deterministic(self, name):
+        a = get(name, n=2_000, seed=3)
+        b = get(name, n=2_000, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self, name):
+        if name in ("step", "adversarial"):
+            pytest.skip("deterministic constructions ignore the seed")
+        a = get(name, n=2_000, seed=1)
+        b = get(name, n=2_000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_zero_elements(self, name):
+        assert len(get(name, n=0, seed=0)) == 0
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(InvalidParameterError, match="unknown dataset"):
+        get("no_such_dataset")
+
+
+def test_negative_n_raises():
+    with pytest.raises(InvalidParameterError):
+        get("uniform", n=-1)
+
+
+def test_double_registration_raises():
+    with pytest.raises(InvalidParameterError):
+        register("uniform", lambda n, s: np.zeros(n), "dup", "dup")
+
+
+def test_spec_metadata():
+    s = spec("weblogs")
+    assert s.name == "weblogs"
+    assert "715M" in s.paper_counterpart
+
+
+def test_wrong_length_builder_caught():
+    register(
+        "_broken_for_test",
+        lambda n, s: np.zeros(max(0, n - 1)),
+        "broken",
+        "none",
+    )
+    with pytest.raises(InvalidParameterError, match="produced"):
+        get("_broken_for_test", n=5)

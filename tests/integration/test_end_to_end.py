@@ -1,0 +1,148 @@
+"""End-to-end scenarios across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BinarySearchIndex,
+    CostModel,
+    CostModelParams,
+    FITingTree,
+    FixedPageIndex,
+    FullIndex,
+    LatencyModel,
+    SecondaryFITingTree,
+)
+from repro.datasets import get
+from repro.workloads import (
+    insert_stream,
+    mixed_lookups,
+    run_inserts,
+    run_lookups,
+    uniform_lookups,
+)
+
+
+class TestClusteredPipeline:
+    """Dataset -> index -> workload -> measurements, as the paper runs it."""
+
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return get("weblogs", n=30_000, seed=0)
+
+    def test_space_savings_headline_claim(self, keys):
+        """The paper's headline: comparable lookups at a fraction of the
+        space of a dense index."""
+        fiting = FITingTree(keys, error=128, buffer_capacity=0)
+        full = FullIndex(keys)
+        assert fiting.model_bytes() * 20 < full.model_bytes()
+
+        queries = uniform_lookups(keys, 2_000, seed=1)
+        model = LatencyModel()
+        fit_res = run_lookups(fiting, queries, latency_model=model, use_bulk=True)
+        full_res = run_lookups(full, queries, latency_model=model, use_bulk=True)
+        assert fit_res.hits == full_res.hits == 2_000
+        # Within an order of magnitude of the dense index's modeled latency.
+        assert fit_res.modeled_ns_per_op < 10 * full_res.modeled_ns_per_op
+
+    def test_fiting_dominates_fixed_at_matched_size(self, keys):
+        """Paper Figure 6's ordering: at a similar (or smaller) index size
+        the FITing-Tree is at least as fast as fixed-size paging."""
+        model = LatencyModel()
+        queries = uniform_lookups(keys, 2_000, seed=2)
+        fixed = FixedPageIndex(keys, page_size=64, buffer_capacity=0)
+        fixed_res = run_lookups(fixed, queries, latency_model=model, use_bulk=True)
+        # Pick the fiting error whose size is below fixed's.
+        for error in (16, 32, 64, 128, 256):
+            fiting = FITingTree(keys, error=error, buffer_capacity=0)
+            if fiting.model_bytes() <= fixed.model_bytes():
+                res = run_lookups(fiting, queries, latency_model=model,
+                                  use_bulk=True)
+                assert res.modeled_ns_per_op <= fixed_res.modeled_ns_per_op * 1.6
+                return
+        pytest.fail("no fiting configuration under the fixed index size")
+
+    def test_mixed_workload_correctness(self, keys):
+        index = FITingTree(keys, error=64)
+        queries = mixed_lookups(keys, 3_000, hit_ratio=0.8, seed=3)
+        res = run_lookups(index, queries)
+        assert abs(res.hits - 2_400) <= 30
+
+    def test_insert_heavy_session(self, keys):
+        index = FITingTree(keys, error=64)
+        stream = insert_stream(5_000, float(keys[0]), float(keys[-1]), seed=4)
+        run_inserts(index, stream)
+        index.validate()
+        assert len(index) == 35_000
+        # All original keys still found after the churn.
+        for i in range(0, 30_000, 977):
+            assert index.get(keys[i]) == i
+
+    def test_binary_baseline_is_size_floor(self, keys):
+        binary = BinarySearchIndex(keys)
+        assert binary.model_bytes() == 0
+        res = run_lookups(binary, uniform_lookups(keys, 500, 5), use_bulk=True)
+        assert res.hits == 500
+
+
+class TestCostModelLoop:
+    def test_sla_workflow(self):
+        """The Section 6 story: DBA picks an error from an SLA, builds the
+        index, and the simulated system honours it."""
+        keys = get("iot", n=30_000, seed=0)
+        c = 50.0
+        cost = CostModel.learned(keys, params=CostModelParams(c_ns=c))
+        error = cost.pick_error_for_latency(1_200.0, candidates=(16, 64, 256, 1024))
+        index = FITingTree(keys, error=error, buffer_capacity=int(error) // 2)
+        res = run_lookups(
+            index,
+            uniform_lookups(keys, 1_000, 1),
+            latency_model=LatencyModel(c=c),
+        )
+        assert res.modeled_ns_per_op <= 1_200.0
+
+    def test_budget_workflow(self):
+        keys = get("maps", n=30_000, seed=0)
+        cost = CostModel.learned(keys)
+        budget = 64 * 1024  # 64 KB
+        error = cost.pick_error_for_size(budget, candidates=(16, 64, 256, 1024))
+        index = FITingTree(keys, error=error, buffer_capacity=int(error) // 2)
+        assert index.model_bytes() <= budget
+
+
+class TestSecondaryPipeline:
+    def test_secondary_index_scenario(self):
+        """Maps-style scenario: secondary index over an unsorted column."""
+        rng = np.random.default_rng(0)
+        column = get("maps", n=20_000, seed=0)[rng.permutation(20_000)]
+        index = SecondaryFITingTree(column, error=64)
+        value = column[123]
+        assert 123 in index.lookup(value)
+        in_band = sorted(index.range_rowids(0.0, 10.0))
+        expected = sorted(np.flatnonzero((column >= 0.0) & (column <= 10.0)).tolist())
+        assert in_band == expected
+
+    def test_secondary_size_advantage(self):
+        rng = np.random.default_rng(1)
+        column = get("maps", n=20_000, seed=1)[rng.permutation(20_000)]
+        fiting = SecondaryFITingTree(column, error=256, buffer_capacity=0)
+        dense = FullIndex(np.sort(column))
+        assert fiting.model_bytes() * 10 < dense.model_bytes()
+
+
+class TestWorstCase:
+    def test_step_cliff(self):
+        """Figure 9b: the size cliff at error = step size."""
+        keys = get("step", n=20_000, seed=0)
+        below = FITingTree(keys, error=50, buffer_capacity=0)
+        above = FITingTree(keys, error=120, buffer_capacity=0)
+        assert above.n_segments == 1
+        assert below.n_segments > 100
+        assert below.model_bytes() > 50 * above.model_bytes()
+
+    def test_worst_case_still_correct(self):
+        keys = get("step", n=20_000, seed=0)
+        index = FITingTree(keys, error=50, buffer_capacity=10)
+        assert len(index.lookup_all(100.0)) == 100
+        index.insert(100.0, 999_999)
+        assert len(index.lookup_all(100.0)) == 101

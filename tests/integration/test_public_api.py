@@ -1,0 +1,106 @@
+"""Public API surface: exports, docstring examples, examples/, and the CLI."""
+
+import doctest
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+import repro
+import repro.core
+import repro.memsim
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+
+
+class TestExports:
+    @pytest.mark.parametrize("module", [repro, repro.core, repro.memsim])
+    def test_all_exports_resolve(self, module):
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, name
+
+    def test_headline_classes_importable_from_top(self):
+        from repro import (  # noqa: F401
+            AccessCounter,
+            BinarySearchIndex,
+            CostModel,
+            FITingTree,
+            FixedPageIndex,
+            FullIndex,
+            LatencyModel,
+            SecondaryFITingTree,
+            load_index,
+            save_index,
+            shrinking_cone,
+        )
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_every_public_item_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.core.fiting_tree",
+            "repro.memsim.latency",
+        ],
+    )
+    def test_docstring_examples_run(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"{module_name}: {results.failed} failures"
+
+
+class TestExamples:
+    def test_examples_compile(self):
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 5
+        for path in examples:
+            py_compile.compile(str(path), doraise=True)
+
+    def test_worst_case_example_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "examples" / "worst_case_and_adversarial.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "cliff" in proc.stdout
+
+
+class TestCLI:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.bench", *args],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+
+    def test_list(self):
+        proc = self.run_cli("list")
+        assert proc.returncode == 0
+        for name in ("table1", "fig6", "a3", "abl_cachesim"):
+            assert name in proc.stdout
+
+    def test_single_experiment(self):
+        proc = self.run_cli("fig9", "--n", "3000")
+        assert proc.returncode == 0
+        assert "size cliff" in proc.stdout
+
+    def test_unknown_experiment_fails(self):
+        proc = self.run_cli("fig99")
+        assert proc.returncode != 0

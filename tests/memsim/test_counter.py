@@ -1,0 +1,107 @@
+"""Access counters: probe math, line-miss math, snapshot arithmetic."""
+
+import pytest
+
+from repro.memsim import (
+    AccessCounter,
+    binary_search_line_misses,
+    binary_search_probes,
+)
+
+
+class TestProbeMath:
+    @pytest.mark.parametrize(
+        "window,expected",
+        [(0, 0), (1, 1), (2, 2), (3, 3), (4, 3), (8, 4), (9, 5), (1024, 11)],
+    )
+    def test_binary_search_probes(self, window, expected):
+        assert binary_search_probes(window) == expected
+
+    @pytest.mark.parametrize(
+        "window,expected",
+        [(0, 0), (1, 1), (8, 1), (16, 2), (64, 4), (1 << 20, 18)],
+    )
+    def test_line_misses(self, window, expected):
+        assert binary_search_line_misses(window) == expected
+
+    def test_line_misses_never_exceed_probes(self):
+        for window in (1, 2, 5, 17, 100, 10_000):
+            assert binary_search_line_misses(window) <= binary_search_probes(
+                window
+            )
+
+
+class TestCounter:
+    def test_initial_state(self):
+        counter = AccessCounter()
+        assert counter.random_accesses == 0
+        assert counter.data_line_misses == 0
+        assert counter.per_op() == {}
+
+    def test_accumulation(self):
+        counter = AccessCounter()
+        counter.op()
+        counter.tree_node()
+        counter.tree_node()
+        counter.segment_binary_search(64)
+        counter.buffer_binary_search(8)
+        assert counter.tree_nodes == 2
+        assert counter.segment_probes == binary_search_probes(64)
+        assert counter.buffer_probes == binary_search_probes(8)
+        assert counter.random_accesses == (
+            2 + binary_search_probes(64) + binary_search_probes(8)
+        )
+        assert counter.data_line_misses == (
+            binary_search_line_misses(64) + binary_search_line_misses(8)
+        )
+
+    def test_direct_probes_count_as_misses(self):
+        counter = AccessCounter()
+        counter.segment_probe(3)
+        counter.buffer_probe(2)
+        assert counter.segment_line_misses == 3
+        assert counter.buffer_line_misses == 2
+
+    def test_per_op_averages(self):
+        counter = AccessCounter()
+        for _ in range(4):
+            counter.op()
+            counter.tree_node()
+        per = counter.per_op()
+        assert per["tree_nodes"] == 1.0
+        assert per["random_accesses"] == 1.0
+
+    def test_reset(self):
+        counter = AccessCounter()
+        counter.op()
+        counter.tree_node()
+        counter.data_move(5)
+        counter.split()
+        counter.reset()
+        assert counter.tree_nodes == 0
+        assert counter.data_moves == 0
+        assert counter.splits == 0
+        assert counter.ops == 0
+        assert counter.segment_line_misses == 0
+
+    def test_snapshot_is_independent(self):
+        counter = AccessCounter()
+        counter.tree_node()
+        snap = counter.snapshot()
+        counter.tree_node()
+        assert snap.tree_nodes == 1
+        assert counter.tree_nodes == 2
+
+    def test_diff(self):
+        counter = AccessCounter()
+        counter.op()
+        counter.tree_node()
+        earlier = counter.snapshot()
+        counter.op()
+        counter.tree_node()
+        counter.segment_binary_search(16)
+        delta = counter.diff(earlier)
+        assert delta.ops == 1
+        assert delta.tree_nodes == 1
+        assert delta.segment_probes == binary_search_probes(16)
+        assert delta.segment_line_misses == binary_search_line_misses(16)

@@ -1,0 +1,118 @@
+"""Latency models: flat, hierarchy, per-level descent, split pricing."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.memsim import (
+    AccessCounter,
+    CacheLevel,
+    LatencyModel,
+    XEON_E5_2660_HIERARCHY,
+)
+
+
+class TestFlatModel:
+    def test_constant_cost(self):
+        model = LatencyModel(c=75.0)
+        assert model.access_ns(1) == 75.0
+        assert model.access_ns(10**12) == 75.0
+        assert model.latency_ns(4, 10**9) == 300.0
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(c=0)
+
+    def test_tree_access_is_c(self):
+        model = LatencyModel(c=50.0)
+        assert model.tree_access_ns(10**9, height=5, branching=16) == 50.0
+
+
+class TestHierarchyModel:
+    def test_level_selection(self):
+        model = LatencyModel()
+        assert model.access_ns(16 * 1024) == 4.0  # L1
+        assert model.access_ns(128 * 1024) == 12.0  # L2
+        assert model.access_ns(10 * 1024 * 1024) == 40.0  # L3
+        assert model.access_ns(10**9) == 100.0  # DRAM
+
+    def test_boundaries_inclusive(self):
+        model = LatencyModel()
+        assert model.access_ns(32 * 1024) == 4.0
+        assert model.access_ns(32 * 1024 + 1) == 12.0
+
+    def test_custom_hierarchy_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(hierarchy=())
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(hierarchy=(CacheLevel("L1", 100, 1.0),))  # bounded last
+        with pytest.raises(InvalidParameterError):
+            LatencyModel(
+                hierarchy=(
+                    CacheLevel("big", 1000, 1.0),
+                    CacheLevel("small", 100, 2.0),
+                    CacheLevel("mem", None, 3.0),
+                )
+            )
+
+    def test_default_hierarchy_is_valid(self):
+        assert XEON_E5_2660_HIERARCHY[-1].capacity_bytes is None
+
+
+class TestTreeDescent:
+    def test_upper_levels_cheaper(self):
+        model = LatencyModel()
+        # 10MB tree, 5 levels: top levels hot (L1), bottom at L3 -> the
+        # per-node average is strictly between the extremes.
+        avg = model.tree_access_ns(10 * 1024 * 1024, height=5, branching=16)
+        assert 4.0 < avg < 40.0
+
+    def test_single_level_tree(self):
+        model = LatencyModel()
+        assert model.tree_access_ns(1024, height=1, branching=16) == 4.0
+
+    def test_bigger_tree_costs_more(self):
+        model = LatencyModel()
+        small = model.tree_access_ns(64 * 1024, 3, 16)
+        large = model.tree_access_ns(64 * 1024 * 1024, 3, 16)
+        assert large > small
+
+
+class TestOpPricing:
+    def _counter(self):
+        counter = AccessCounter()
+        counter.op()
+        counter.tree_node()
+        counter.tree_node()
+        counter.segment_binary_search(32)
+        return counter
+
+    def test_flat_op_latency(self):
+        model = LatencyModel(c=10.0)
+        counter = self._counter()
+        assert model.op_latency_ns(counter, 10**9) == pytest.approx(
+            10.0 * counter.random_accesses
+        )
+
+    def test_split_pricing_separates_residencies(self):
+        model = LatencyModel()
+        counter = self._counter()
+        # Tiny index (L1), huge data (DRAM).
+        cost = model.op_latency_split_ns(counter, 1024, 10**9)
+        expected = 2 * 4.0 + counter.data_line_misses * 100.0
+        assert cost == pytest.approx(expected)
+
+    def test_split_pricing_with_descent_levels(self):
+        model = LatencyModel()
+        counter = self._counter()
+        big_index = 10 * 1024 * 1024
+        with_levels = model.op_latency_split_ns(
+            counter, big_index, 10**9, height=4, branching=16
+        )
+        flat_levels = model.op_latency_split_ns(counter, big_index, 10**9)
+        # Hot upper levels make the descent cheaper than flat L3 pricing.
+        assert with_levels < flat_levels
+
+    def test_zero_ops_is_zero(self):
+        model = LatencyModel()
+        assert model.op_latency_ns(AccessCounter(), 100) == 0.0
+        assert model.op_latency_split_ns(AccessCounter(), 100, 100) == 0.0

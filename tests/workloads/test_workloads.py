@@ -1,0 +1,160 @@
+"""Workload generators and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.fiting_tree import FITingTree
+from repro.memsim import LatencyModel
+from repro.workloads import (
+    insert_stream,
+    missing_lookups,
+    mixed_lookups,
+    run_inserts,
+    run_lookups,
+    run_range_scans,
+    uniform_lookups,
+    zipf_lookups,
+)
+
+
+@pytest.fixture
+def keys(rng):
+    return np.sort(rng.uniform(0, 1e5, 5_000))
+
+
+class TestLookupGenerators:
+    def test_uniform_all_present(self, keys):
+        queries = uniform_lookups(keys, 500, seed=0)
+        assert len(queries) == 500
+        assert np.all(np.isin(queries, keys))
+
+    def test_uniform_deterministic(self, keys):
+        assert np.array_equal(
+            uniform_lookups(keys, 100, seed=5), uniform_lookups(keys, 100, seed=5)
+        )
+
+    def test_uniform_empty_keys_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_lookups(np.empty(0), 10)
+
+    def test_zipf_skews_popularity(self, keys):
+        queries = zipf_lookups(keys, 20_000, seed=0, a=1.2)
+        _, counts = np.unique(queries, return_counts=True)
+        # The hottest key must receive far more than the mean share.
+        assert counts.max() > 20 * counts.mean()
+        assert np.all(np.isin(queries, keys))
+
+    def test_zipf_requires_a_above_one(self, keys):
+        with pytest.raises(InvalidParameterError):
+            zipf_lookups(keys, 10, a=1.0)
+
+    def test_missing_never_hit(self, keys):
+        queries = missing_lookups(keys, 1_000, seed=0)
+        assert not np.any(np.isin(queries, keys))
+
+    def test_missing_needs_two_distinct(self):
+        with pytest.raises(InvalidParameterError):
+            missing_lookups(np.array([5.0, 5.0]), 10)
+
+    def test_mixed_hit_ratio(self, keys):
+        queries = mixed_lookups(keys, 2_000, hit_ratio=0.75, seed=0)
+        hits = np.sum(np.isin(queries, keys))
+        assert abs(hits - 1_500) <= 20
+
+    def test_mixed_invalid_ratio(self, keys):
+        with pytest.raises(InvalidParameterError):
+            mixed_lookups(keys, 10, hit_ratio=1.5)
+
+
+class TestInsertStream:
+    def test_uniform_in_range(self):
+        stream = insert_stream(1_000, 10.0, 20.0, seed=0)
+        assert np.all((stream >= 10.0) & (stream < 20.0))
+
+    def test_sequential_monotone_beyond_hi(self):
+        stream = insert_stream(1_000, 0.0, 100.0, seed=0, pattern="sequential")
+        assert np.all(np.diff(stream) >= 0)
+        assert stream[0] >= 100.0
+
+    def test_hotspot_concentration(self):
+        stream = insert_stream(10_000, 0.0, 1000.0, seed=0, pattern="hotspot")
+        hist, _ = np.histogram(stream, bins=10, range=(0.0, 1000.0))
+        assert hist.max() > 0.5 * len(stream)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(InvalidParameterError):
+            insert_stream(10, 0.0, 1.0, pattern="spiral")
+
+    def test_bad_range(self):
+        with pytest.raises(InvalidParameterError):
+            insert_stream(10, 5.0, 5.0)
+
+
+class TestRunner:
+    def test_run_lookups_counts_hits(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        queries = np.concatenate(
+            [uniform_lookups(keys, 200, 0), missing_lookups(keys, 100, 1)]
+        )
+        res = run_lookups(index, queries)
+        assert res.ops == 300
+        assert res.hits == 200
+        assert res.modeled_ns_per_op > 0
+        assert res.counter.ops == 300
+        assert res.wall_seconds > 0
+
+    def test_bulk_matches_single(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        queries = uniform_lookups(keys, 200, 0)
+        single = run_lookups(index, queries, use_bulk=False)
+        bulk = run_lookups(index, queries, use_bulk=True)
+        assert single.hits == bulk.hits == 200
+
+    def test_flat_model_pricing(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        queries = uniform_lookups(keys, 100, 0)
+        res = run_lookups(index, queries, latency_model=LatencyModel(c=50.0))
+        per_op_accesses = res.counter.tree_nodes + res.counter.data_line_misses
+        assert res.modeled_ns_per_op == pytest.approx(
+            50.0 * per_op_accesses / res.ops
+        )
+
+    def test_empty_queries_rejected(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        with pytest.raises(InvalidParameterError):
+            run_lookups(index, np.empty(0))
+
+    def test_run_inserts(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=8)
+        stream = insert_stream(500, float(keys[0]), float(keys[-1]), 0)
+        res = run_inserts(index, stream)
+        assert res.ops == 500
+        assert len(index) == 5_500
+        assert res.ops_per_second > 0
+        assert "splits" in res.extra
+        index.validate()
+
+    def test_run_range_scans(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        bounds = np.array([[keys[0], keys[100]], [keys[200], keys[300]]])
+        res = run_range_scans(index, bounds)
+        assert res.ops == 2
+        assert res.extra["tuples_scanned"] == 202
+
+    def test_range_scan_bad_bounds(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        with pytest.raises(InvalidParameterError):
+            run_range_scans(index, np.array([1.0, 2.0, 3.0]))
+
+    def test_result_row_format(self, keys):
+        index = FITingTree(keys, error=32, buffer_capacity=0)
+        res = run_lookups(index, uniform_lookups(keys, 50, 0))
+        row = res.row()
+        assert set(row) >= {
+            "ops",
+            "wall_ns_per_op",
+            "modeled_ns_per_op",
+            "ops_per_second",
+            "accesses_per_op",
+        }

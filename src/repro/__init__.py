@@ -17,6 +17,15 @@ Quickstart
 >>> index.n_segments < 50_000     # orders of magnitude fewer entries than keys
 True
 
+Beyond the paper, :mod:`repro.engine` layers a serving system on top: a
+:class:`~repro.engine.ShardedEngine` range-partitions the key space into
+shards (one FITing-Tree each) and answers whole query batches through
+flattened NumPy views of the segments — one ``searchsorted`` routing pass,
+vectorized interpolation, and a vectorized bounded window probe replace
+per-key tree descents (``get_batch`` / ``range_batch`` / ``insert_batch``).
+It is the foundation for the roadmap's async serving, multi-process shards
+and segment-cache directions.
+
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
@@ -39,6 +48,7 @@ from repro.core import (
     shrinking_cone,
     verify_segments,
 )
+from repro.engine import FlatView, ShardedEngine
 from repro.memsim import AccessCounter, CacheSim, LatencyModel
 
 __version__ = "1.0.0"
@@ -52,8 +62,10 @@ __all__ = [
     "CostModelParams",
     "FITingTree",
     "FixedPageIndex",
+    "FlatView",
     "FullIndex",
     "LatencyModel",
+    "ShardedEngine",
     "SecondaryFITingTree",
     "Segment",
     "StringFITingTree",

@@ -1,0 +1,119 @@
+"""Engine experiment: scalar vs batch vs sharded-batch lookup throughput.
+
+Beyond the paper: measures what the :mod:`repro.engine` serving layer buys.
+Three execution modes answer the same uniform query stream over the same
+FITing-Tree configuration:
+
+* ``scalar`` — the paper's read path, one ``FITingTree.get`` per query
+  (B+-tree descent + interpolated bounded search, all in Python);
+* ``batch`` — a single FITing-Tree answered through its flattened NumPy
+  view (``get_batch``): vectorized routing, interpolation, window probe;
+* ``sharded-batch`` — a :class:`~repro.engine.ShardedEngine`: the batch
+  path after range-partitioned shard routing.
+
+The headline claim (pinned by ``tests/engine``): over >= 100k uniform keys
+with batch size 1024 and 4 shards, sharded-batch beats the scalar loop by
+>= 5x wall-clock. Results are emitted to ``BENCH_engine.json`` so the perf
+trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.bench.harness import ExperimentResult, register_experiment
+from repro.core.fiting_tree import FITingTree
+from repro.datasets import get
+from repro.engine import ShardedEngine
+from repro.workloads import run_batch_lookups, uniform_lookups
+
+#: Scalar gets are ~10us each in CPython; cap the scalar reference loop and
+#: report per-op numbers so big-n runs stay interactive.
+_SCALAR_CAP = 20_000
+
+
+def _wall_ns_scalar(index: FITingTree, queries) -> float:
+    q = queries[:_SCALAR_CAP]
+    get = index.get
+    start = time.perf_counter()
+    for key in q:
+        get(key)
+    return (time.perf_counter() - start) * 1e9 / len(q)
+
+
+@register_experiment("engine")
+def engine(
+    n: int = 200_000,
+    seed: int = 0,
+    n_queries: Optional[int] = None,
+    batch_size: int = 1024,
+    n_shards: int = 4,
+    error: float = 64.0,
+    datasets: Sequence[str] = ("uniform", "iot", "maps"),
+    out: Optional[str] = "BENCH_engine.json",
+) -> ExperimentResult:
+    """Throughput of the three execution modes across dataset types."""
+    if n_queries is None:
+        n_queries = min(n, 100_000)
+    rows = []
+    notes = []
+    bench_rows: list = []
+    for name in datasets:
+        keys = get(name, n=n, seed=seed)
+        queries = uniform_lookups(keys, n_queries, seed=seed + 1)
+        tree = FITingTree(keys, error=error, buffer_capacity=0)
+        eng = ShardedEngine(
+            keys, n_shards=n_shards, error=error, buffer_capacity=0
+        )
+
+        scalar_ns = _wall_ns_scalar(tree, queries)
+        batch_res = run_batch_lookups(tree, queries, batch_size=batch_size)
+        shard_res = run_batch_lookups(eng, queries, batch_size=batch_size)
+        assert batch_res.hits == shard_res.hits == n_queries
+
+        for mode, wall_ns in (
+            ("scalar", scalar_ns),
+            ("batch", batch_res.wall_ns_per_op),
+            ("sharded-batch", shard_res.wall_ns_per_op),
+        ):
+            row = {
+                "dataset": name,
+                "mode": mode,
+                "wall_ns_per_op": round(wall_ns, 1),
+                "ops_per_second": round(1e9 / wall_ns, 0) if wall_ns else 0.0,
+                "speedup_vs_scalar": round(scalar_ns / wall_ns, 2) if wall_ns else 0.0,
+            }
+            rows.append(row)
+            bench_rows.append(dict(row))
+        notes.append(
+            f"{name}: sharded-batch {scalar_ns / shard_res.wall_ns_per_op:.1f}x "
+            f"over scalar, batch {scalar_ns / batch_res.wall_ns_per_op:.1f}x "
+            f"({eng.n_shards} shards, {sum(s.n_segments for s in eng.shards)} "
+            f"segments)"
+        )
+
+    params: Dict[str, Any] = {
+        "n": n,
+        "n_queries": n_queries,
+        "batch_size": batch_size,
+        "n_shards": n_shards,
+        "error": error,
+        "seed": seed,
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(
+                {"experiment": "engine", "params": params, "rows": bench_rows},
+                fh,
+                indent=2,
+            )
+        notes.append(f"wrote {out}")
+    return ExperimentResult(
+        name="engine",
+        title="Batch engine throughput: scalar vs batch vs sharded-batch",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

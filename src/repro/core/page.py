@@ -299,6 +299,37 @@ class SegmentPage:
         del self.buf_values[i]
         return value
 
+    def buffer_arrays(self, values_dtype=None) -> Tuple[np.ndarray, np.ndarray]:
+        """The insert buffer as aligned ``(keys, values)`` NumPy arrays.
+
+        The key array is always float64; values use ``values_dtype`` (or
+        this page's data dtype) so per-page exports concatenate cleanly in
+        :meth:`repro.core.paged_index.PagedIndexBase.flat_arrays`. Buffered
+        payloads that the target dtype cannot represent losslessly (the
+        buffer is a plain Python list, so inserts may hold anything) fall
+        back to an object array — never silently coerced.
+        """
+        dtype = self.values.dtype if values_dtype is None else values_dtype
+        keys = np.asarray(self.buf_keys, dtype=np.float64)
+        n = len(self.buf_values)
+        values = np.empty(n, dtype=dtype)
+        if n and dtype != np.dtype(object):
+            try:
+                values[:] = self.buf_values
+                exact = all(
+                    values[i] == v
+                    or (v != v and values[i] != values[i])  # NaN payloads
+                    for i, v in enumerate(self.buf_values)
+                )
+            except (ValueError, TypeError, OverflowError):
+                exact = False
+            if not exact:
+                values = np.empty(n, dtype=object)
+                values[:] = self.buf_values
+        elif n:
+            values[:] = self.buf_values
+        return keys, values
+
     def merged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Data and buffer merged into one sorted (keys, values) pair."""
         if not self.buf_keys:

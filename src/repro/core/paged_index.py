@@ -79,6 +79,11 @@ class PagedIndexBase:
         self._n = 0
         self._dirty = True  # directory cache for bulk_lookup needs rebuild
         self._directory: Optional[Tuple[np.ndarray, List[SegmentPage]]] = None
+        #: Monotonic mutation counter; any observer caching derived state
+        #: (e.g. the flattened arrays behind ``get_batch``) compares against
+        #: it to decide when to rebuild. Bumped by every write path,
+        #: including buffered inserts that leave the page directory intact.
+        self._version = 0
 
         if keys is None:
             keys = np.empty(0, dtype=np.float64)
@@ -112,6 +117,7 @@ class PagedIndexBase:
 
     def _build(self, keys: np.ndarray, values: np.ndarray) -> None:
         self._n = len(keys)
+        self._version += 1
         if self._n == 0:
             return
         pages = self._make_pages(keys, values)
@@ -135,6 +141,11 @@ class PagedIndexBase:
     @property
     def height(self) -> int:
         return self._tree.height
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see ``__init__``)."""
+        return self._version
 
     def model_bytes(self) -> int:
         """Modeled index size: B+ tree bytes + per-page metadata.
@@ -277,6 +288,76 @@ class PagedIndexBase:
             self._dirty = False
         return self._directory
 
+    def flat_arrays(self) -> Dict[str, Any]:
+        """Export every page as contiguous NumPy arrays (the batch substrate).
+
+        Pages are emitted in tree order, so the concatenated ``keys`` array
+        is globally sorted and ``offsets[i]:offsets[i+1]`` is page ``i``'s
+        slice of it. Buffers are concatenated the same way under
+        ``buf_offsets`` (each page's buffer slice is sorted; the whole
+        buffer array need not be). Consumers must treat the result as an
+        immutable snapshot of :attr:`version` — see
+        :mod:`repro.engine.batch` for the vectorized read path built on it.
+        """
+        starts: List[float] = []
+        slopes: List[float] = []
+        deletions: List[float] = []
+        key_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        buf_key_parts: List[np.ndarray] = []
+        buf_value_parts: List[np.ndarray] = []
+        lengths: List[int] = []
+        buf_lengths: List[int] = []
+        for page in self.pages():
+            starts.append(page.start_key)
+            slopes.append(page.slope)
+            deletions.append(float(page.deletions))
+            key_parts.append(page.keys)
+            value_parts.append(page.values)
+            lengths.append(page.n_data)
+            bk, bv = page.buffer_arrays(self._values_dtype)
+            buf_key_parts.append(bk)
+            buf_value_parts.append(bv)
+            buf_lengths.append(len(bk))
+        n_pages = len(starts)
+        offsets = np.zeros(n_pages + 1, dtype=np.int64)
+        buf_offsets = np.zeros(n_pages + 1, dtype=np.int64)
+        if n_pages:
+            np.cumsum(lengths, out=offsets[1:])
+            np.cumsum(buf_lengths, out=buf_offsets[1:])
+        empty_k = np.empty(0, dtype=np.float64)
+        empty_v = np.empty(0, dtype=self._values_dtype)
+        return {
+            "version": self._version,
+            "search_error": float(self.page_search_error),
+            "heights": np.full(n_pages, self._tree.height, dtype=np.int64),
+            "starts": np.asarray(starts, dtype=np.float64),
+            "slopes": np.asarray(slopes, dtype=np.float64),
+            "deletions": np.asarray(deletions, dtype=np.float64),
+            "offsets": offsets,
+            "keys": np.concatenate(key_parts) if n_pages else empty_k,
+            "values": np.concatenate(value_parts) if n_pages else empty_v,
+            "buf_offsets": buf_offsets,
+            "buf_keys": np.concatenate(buf_key_parts) if n_pages else empty_k,
+            "buf_values": np.concatenate(buf_value_parts) if n_pages else empty_v,
+        }
+
+    def get_batch(self, queries, default: Any = None) -> np.ndarray:
+        """Vectorized point lookups over a flattened-array snapshot.
+
+        Unlike :meth:`bulk_lookup` (which still probes pages one query at a
+        time), this routes, interpolates and window-searches the whole batch
+        with NumPy array passes; results match :meth:`get` exactly for
+        finite queries (non-finite ones, on which :meth:`get` raises, miss
+        cleanly here). The
+        snapshot is cached and invalidated by :attr:`version`. Returns an
+        array in the values dtype when every query hits, otherwise an
+        object array with ``default`` in the missing slots.
+        """
+        from repro.engine.batch import flat_view
+
+        return flat_view(self).get_batch(queries, default, counter=self.counter)
+
     # ------------------------------------------------------------------
     # Range queries
     # ------------------------------------------------------------------
@@ -349,6 +430,7 @@ class PagedIndexBase:
         self._check_writable()
         key = float(key)
         value = self._resolve_value(value)
+        self._version += 1
         if self.counter is not None:
             self.counter.op()
         if len(self._tree) == 0:
@@ -438,6 +520,7 @@ class PagedIndexBase:
         for tree_key, page in self._pages_possibly_containing(key):
             j = page.find_in_buffer(key, self.counter)
             if j >= 0:
+                self._version += 1
                 value = page.delete_at_buffer(j)
                 self._n -= 1
                 if page.n_total == 0:
@@ -446,6 +529,7 @@ class PagedIndexBase:
                 return value
             i = page.find_in_data(key, self.page_search_error, self.counter)
             if i >= 0:
+                self._version += 1
                 value = page.delete_at_data(i)
                 self._n -= 1
                 if page.n_total == 0:
@@ -472,6 +556,7 @@ class PagedIndexBase:
             j = page.find_in_buffer(key, self.counter)
             while 0 <= j < len(page.buf_keys) and page.buf_keys[j] == key:
                 if page.buf_values[j] == value:
+                    self._version += 1
                     page.delete_at_buffer(j)
                     self._n -= 1
                     if page.n_total == 0:
@@ -482,6 +567,7 @@ class PagedIndexBase:
             i = page.find_in_data(key, self.page_search_error, self.counter)
             while 0 <= i < len(page.keys) and page.keys[i] == key:
                 if page.values[i] == value:
+                    self._version += 1
                     page.delete_at_data(i)
                     self._n -= 1
                     if page.n_total == 0:

@@ -1,0 +1,346 @@
+"""Array-native batch read path over a paged index's flattened snapshot.
+
+A :class:`FlatView` freezes one :class:`~repro.core.paged_index.PagedIndexBase`
+into contiguous NumPy arrays (via ``flat_arrays``): per-page start keys,
+slopes, deletion counts and offsets, plus the concatenation of every page's
+sorted data (globally sorted, since pages are emitted in key order) and of
+every page's insert buffer. A batch of K point lookups then costs a handful
+of whole-batch array passes instead of K independent B+-tree descents:
+
+1. **route** — one ``np.searchsorted`` over the page start keys finds every
+   query's owning page (the predecessor pass);
+2. **interpolate** — vectorized ``(q - start) * slope`` predicts every
+   query's position, clamped to the paper's error window exactly as
+   ``SegmentPage.window`` does (deletion-widened, with the same
+   outside-the-array fallbacks);
+3. **probe** — a vectorized bounded binary search (`_bounded_leftmost`)
+   resolves all windows simultaneously in ``O(log error)`` array passes;
+   queries that miss in the data fall through to the same vectorized search
+   over their page's buffer slice.
+
+Results are exactly those of per-key ``PagedIndexBase.get`` for every
+finite query — the pinned equivalence tests cover duplicates, misses,
+buffered inserts and deletion-widened windows. Non-finite queries (NaN,
+±inf), which the scalar path cannot evaluate at all (it raises inside
+``SegmentPage.window``), are answered as clean misses with no probes
+charged. Views are snapshots: they are cached on the index
+and invalidated by its monotonic ``version`` counter (see
+:func:`flat_view`), so any insert/delete transparently triggers a rebuild
+on the next batch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.memsim.counter import _KEYS_PER_LINE
+
+__all__ = ["FlatView", "flat_view"]
+
+#: Probes of a binary search that stay within one cache line (the scalar
+#: model's ``binary_search_line_misses`` discount), shared so the batch
+#: accounting can never desync from memsim's.
+_LINE_LOCAL_PROBES = int(math.log2(_KEYS_PER_LINE))
+
+
+def _bounded_leftmost(
+    keys: np.ndarray, q: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Leftmost insertion point of each ``q[i]`` within ``keys[lo[i]:hi[i]]``.
+
+    A lock-step vectorized binary search: every iteration halves all still-
+    active windows at once, so a whole batch resolves in
+    ``ceil(log2(max window))`` array passes. ``lo``/``hi`` are only rebound
+    locally (never mutated), so callers may pass their own arrays.
+    """
+    if keys.size == 0:
+        return lo
+    active = lo < hi
+    while active.any():
+        mid = (lo + hi) >> 1
+        km = keys[np.where(active, mid, 0)]
+        less = active & (km < q)
+        lo = np.where(less, mid + 1, lo)
+        hi = np.where(active & ~less, mid, hi)
+        active = lo < hi
+    return lo
+
+
+def _binary_search_probes_vec(windows: np.ndarray) -> Tuple[int, int]:
+    """Batch totals of the scalar cost model's binary-search charges.
+
+    Mirrors ``memsim.counter.binary_search_probes`` / ``_line_misses``:
+    ``ceil(log2(w)) + 1`` probes for ``w > 1``, one for ``w == 1``; line
+    misses are probes minus the final line-local probes, floored at 1.
+    """
+    w = windows[windows > 0]
+    if w.size == 0:
+        return 0, 0
+    probes = np.ones(w.size, dtype=np.int64)
+    big = w > 1
+    probes[big] = np.ceil(np.log2(w[big])).astype(np.int64) + 1
+    line = np.maximum(probes - _LINE_LOCAL_PROBES, 1)
+    return int(probes.sum()), int(line.sum())
+
+
+class FlatView:
+    """Immutable flattened snapshot of one paged index (see module doc)."""
+
+    __slots__ = (
+        "version",
+        "search_error",
+        "heights",
+        "starts",
+        "route_starts",
+        "slopes",
+        "deletions",
+        "offsets",
+        "keys",
+        "values",
+        "buf_offsets",
+        "buf_keys",
+        "buf_values",
+        "_data_page_idx",
+        "_buf_page_idx",
+    )
+
+    def __init__(self, arrays: Dict[str, Any]) -> None:
+        self.version = arrays["version"]
+        self.search_error = arrays["search_error"]
+        #: Owning tree's height per page, so modeled tree-descent charges
+        #: stay per-shard-exact in multi-shard combined views.
+        self.heights = arrays["heights"]
+        self.starts = arrays["starts"]
+        #: Routing keys for the predecessor pass. Usually the page starts
+        #: themselves; a multi-shard combined view lowers each shard's first
+        #: entry to the shard's cut so under-shard-min queries route into
+        #: the shard that buffers them (mirroring scalar engine routing).
+        self.route_starts = arrays.get("route_starts", arrays["starts"])
+        self.slopes = arrays["slopes"]
+        self.deletions = arrays["deletions"]
+        self.offsets = arrays["offsets"]
+        self.keys = arrays["keys"]
+        self.values = arrays["values"]
+        self.buf_offsets = arrays["buf_offsets"]
+        self.buf_keys = arrays["buf_keys"]
+        self.buf_values = arrays["buf_values"]
+        self._data_page_idx: Optional[np.ndarray] = None
+        self._buf_page_idx: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return self.starts.size
+
+    @property
+    def data_page_idx(self) -> np.ndarray:
+        """Owning page of each slot in the concatenated data array."""
+        if self._data_page_idx is None:
+            self._data_page_idx = np.repeat(
+                np.arange(self.n_pages, dtype=np.int64), np.diff(self.offsets)
+            )
+        return self._data_page_idx
+
+    @property
+    def buf_page_idx(self) -> np.ndarray:
+        """Owning page of each slot in the concatenated buffer array."""
+        if self._buf_page_idx is None:
+            self._buf_page_idx = np.repeat(
+                np.arange(self.n_pages, dtype=np.int64), np.diff(self.buf_offsets)
+            )
+        return self._buf_page_idx
+
+    # ------------------------------------------------------------------
+    # Point lookups
+    # ------------------------------------------------------------------
+
+    def _windows(
+        self, q: np.ndarray, pi: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-query global ``[lo, hi)`` probe windows (SegmentPage.window,
+        vectorized, shifted by each page's offset)."""
+        base = self.offsets[pi]
+        plen = self.offsets[pi + 1] - base
+        if math.isinf(self.search_error):
+            return base.copy(), base + plen  # whole-page binary search
+        pred = (q - self.starts[pi]) * self.slopes[pi]
+        err = self.search_error + self.deletions[pi]
+        lo = np.floor(pred - err)
+        hi = np.ceil(pred + err) + 1.0
+        np.maximum(lo, 0.0, out=lo)
+        np.minimum(lo, plen, out=lo)  # keep huge predictions finite
+        np.minimum(hi, plen, out=hi)
+        np.maximum(hi, 0.0, out=hi)
+        bad = ~np.isfinite(pred)
+        if bad.any():
+            lo[bad] = 0.0
+            hi[bad] = 0.0
+        lo = lo.astype(np.int64)
+        hi = hi.astype(np.int64)
+        empty = lo >= hi
+        if empty.any():
+            # Prediction clamped entirely outside the array: probe the
+            # nearest end slot (mirrors SegmentPage.window).
+            neg = pred < 0
+            lo = np.where(empty, np.where(neg, 0, np.maximum(plen - 1, 0)), lo)
+            hi = np.where(empty, np.where(neg, np.minimum(plen, 1), plen), hi)
+        if bad.any():
+            # Non-finite queries (the scalar path cannot evaluate them at
+            # all — it raises): keep a genuinely empty window so they miss
+            # without probes or modeled charges.
+            lo[bad] = 0
+            hi[bad] = 0
+        return base + lo, base + hi
+
+    def get_batch(
+        self, queries, default: Any = None, counter: Any = None
+    ) -> np.ndarray:
+        """One value per query, exactly matching per-key ``index.get``
+        (finite queries; non-finite ones miss cleanly — see module doc).
+
+        Returns an array in the values dtype when every query hits;
+        otherwise an object array with ``default`` filling the misses.
+        Modeled access counts (ops, tree descents at the snapshot height,
+        window/buffer binary-search probes) are charged to ``counter`` in
+        bulk, mirroring the scalar path's accounting.
+        """
+        q = np.ascontiguousarray(queries, dtype=np.float64)
+        n_queries = q.size
+        if self.n_pages == 0:
+            if counter is not None:
+                counter.ops += n_queries
+            out = np.empty(n_queries, dtype=object)
+            out[:] = default
+            return out
+        pi = np.searchsorted(self.route_starts, q, side="right") - 1
+        np.clip(pi, 0, self.n_pages - 1, out=pi)
+        glo, ghi = self._windows(q, pi)
+        pos = _bounded_leftmost(self.keys, q, glo, ghi)
+        nd = self.keys.size
+        if nd:
+            found = (pos < ghi) & (self.keys[np.minimum(pos, nd - 1)] == q)
+            out = self.values[np.minimum(pos, nd - 1)]
+        else:
+            found = np.zeros(n_queries, dtype=bool)
+            out = np.empty(n_queries, dtype=self.values.dtype)
+
+        miss = np.flatnonzero(~found)
+        buf_windows = None
+        if miss.size:
+            pim = pi[miss]
+            blo = self.buf_offsets[pim]
+            bhi = self.buf_offsets[pim + 1]
+            qm = q[miss]
+            non_finite = ~np.isfinite(qm)
+            if non_finite.any():  # unanswerable queries skip buffers too
+                blo = np.where(non_finite, 0, blo)
+                bhi = np.where(non_finite, 0, bhi)
+            buf_windows = bhi - blo
+            if self.buf_keys.size:
+                bpos = _bounded_leftmost(self.buf_keys, qm, blo, bhi)
+                nb = self.buf_keys.size
+                bhit = (bpos < bhi) & (self.buf_keys[np.minimum(bpos, nb - 1)] == qm)
+                if bhit.any():
+                    hit_idx = miss[bhit]
+                    if self.buf_values.dtype == object and out.dtype != object:
+                        out = out.astype(object)  # lossless for odd payloads
+                    out[hit_idx] = self.buf_values[bpos[bhit]]
+                    found[hit_idx] = True
+
+        if counter is not None:
+            counter.ops += n_queries
+            counter.tree_nodes += int(self.heights[pi].sum())
+            probes, lines = _binary_search_probes_vec(ghi - glo)
+            counter.segment_probes += probes
+            counter.segment_line_misses += lines
+            if buf_windows is not None:
+                probes, lines = _binary_search_probes_vec(buf_windows)
+                counter.buffer_probes += probes
+                counter.buffer_line_misses += lines
+
+        if bool(found.all()):
+            return out
+        result = out.astype(object)
+        result[~found] = default
+        return result
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+
+    def range_arrays(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All ``(keys, values)`` with ``lo <= key <= hi``, in exactly the
+        order ``PagedIndexBase.range_items`` yields them.
+
+        Data rows come from one slice of the globally sorted concatenated
+        array; in-range buffered rows are merged in with a stable lexsort on
+        ``(key, page, data-before-buffer)``, which reproduces the scalar
+        page-by-page merge order including duplicate runs that span pages.
+        """
+        nd = self.keys.size
+        a = 0
+        b = nd
+        if lo is not None:
+            a = int(
+                np.searchsorted(self.keys, lo, side="left" if include_lo else "right")
+            )
+        if hi is not None:
+            b = int(
+                np.searchsorted(self.keys, hi, side="right" if include_hi else "left")
+            )
+        b = max(a, b)
+        dk, dv = self.keys[a:b], self.values[a:b]
+
+        if self.buf_keys.size:
+            mask = np.ones(self.buf_keys.size, dtype=bool)
+            if lo is not None:
+                mask &= self.buf_keys >= lo if include_lo else self.buf_keys > lo
+            if hi is not None:
+                mask &= self.buf_keys <= hi if include_hi else self.buf_keys < hi
+            bk, bv = self.buf_keys[mask], self.buf_values[mask]
+            bp = self.buf_page_idx[mask]
+        else:
+            bk = np.empty(0, dtype=np.float64)
+            bv = np.empty(0, dtype=self.values.dtype)
+            bp = np.empty(0, dtype=np.int64)
+
+        if bk.size == 0:
+            return dk, dv
+        keys_all = np.concatenate((dk, bk))
+        values_all = np.concatenate((dv, bv))
+        page_all = np.concatenate((self.data_page_idx[a:b], bp))
+        is_buf = np.concatenate(
+            (np.zeros(dk.size, dtype=np.int8), np.ones(bk.size, dtype=np.int8))
+        )
+        order = np.lexsort((is_buf, page_all, keys_all))
+        return keys_all[order], values_all[order]
+
+
+def flat_view(index: Any, stats: Optional[Dict[str, int]] = None) -> FlatView:
+    """The index's cached :class:`FlatView`, rebuilt when stale.
+
+    The cache key is the index's monotonic ``version`` counter, so buffered
+    inserts, deletes and page rebuilds all invalidate it. ``stats`` (a dict
+    with ``"view_hits"``/``"view_builds"``) lets callers — the engine's
+    cache-hit-rate stat — observe reuse without a second API.
+    """
+    cached = getattr(index, "_flat_view_cache", None)
+    if cached is not None and cached.version == index.version:
+        if stats is not None:
+            stats["view_hits"] = stats.get("view_hits", 0) + 1
+        return cached
+    view = FlatView(index.flat_arrays())
+    index._flat_view_cache = view
+    if stats is not None:
+        stats["view_builds"] = stats.get("view_builds", 0) + 1
+    return view

@@ -1,0 +1,454 @@
+"""ShardedEngine: a range-partitioned, batch-first serving layer.
+
+The single :class:`~repro.core.fiting_tree.FITingTree` answers one key at a
+time; a serving system amortizes. The engine range-partitions the key space
+(:mod:`repro.engine.partition`) into N shards, each backed by its own
+FITing-Tree (or any ``PagedIndexBase`` subclass via ``index_factory``), and
+exposes batch verbs:
+
+* :meth:`ShardedEngine.get_batch` — route the whole batch to shards with
+  one ``searchsorted``, then answer each shard's slice through its cached
+  :class:`~repro.engine.batch.FlatView` (vectorized interpolation + bounded
+  window probe), scattering results back into request order;
+* :meth:`ShardedEngine.range_batch` — per-bound shard overlap resolution,
+  each shard contributing one contiguous slice of its flattened arrays;
+* :meth:`ShardedEngine.insert_batch` — group a batch by shard, then apply
+  each group in key order so consecutive inserts hit the same segment
+  buffer; flat views invalidate per shard, so untouched shards keep their
+  snapshots (read-mostly shards stay fast under writes elsewhere).
+
+Scalar ``get`` / ``insert`` / ``range_items`` mirrors are provided so the
+engine drops into any harness an index fits; equivalence between the two
+paths is pinned by tests. Shards are plain single-process objects — the
+partition/batch split is deliberately the shape a future async or
+multi-process deployment needs (each shard's state is independent), per the
+ROADMAP north star.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, NotSortedError
+from repro.core.fiting_tree import FITingTree
+from repro.engine.batch import FlatView, flat_view
+from repro.engine.partition import partition_cuts, route, shard_bounds
+
+__all__ = ["ShardedEngine"]
+
+#: Consecutive stale batches served via the grouped per-shard path before
+#: the combined view is reassembled (amortizes the O(total data) concat).
+_STALE_READS_BEFORE_REBUILD = 4
+
+
+class ShardedEngine:
+    """Range-partitioned batch query engine over per-shard paged indexes.
+
+    Parameters
+    ----------
+    keys:
+        Sorted (ascending, duplicates allowed) build keys; ``None`` or
+        empty starts an empty single-shard engine that grows via inserts.
+    values:
+        Optional payloads aligned with ``keys``; omitted means engine-wide
+        auto row ids ``0..n-1`` (inserts keep numbering across shards).
+    n_shards:
+        Requested shard count; the effective count may be lower when the
+        data has too few distinct keys (see ``partition_cuts``).
+    index_factory:
+        ``f(keys, values) -> PagedIndexBase`` building one shard. Defaults
+        to a :class:`FITingTree` with this engine's ``error`` /
+        ``buffer_capacity``.
+    error, buffer_capacity:
+        Passed to the default factory (ignored when ``index_factory`` is
+        given).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> keys = np.sort(np.random.default_rng(0).uniform(0, 1e6, 100_000))
+    >>> engine = ShardedEngine(keys, n_shards=4, error=128)
+    >>> bool((engine.get_batch(keys[:1024]) == np.arange(1024)).all())
+    True
+    """
+
+    def __init__(
+        self,
+        keys=None,
+        values=None,
+        *,
+        n_shards: int = 4,
+        index_factory: Optional[Callable[..., Any]] = None,
+        error: float = 64.0,
+        buffer_capacity: Optional[int] = None,
+        **index_kwargs: Any,
+    ) -> None:
+        if keys is None:
+            keys = np.empty(0, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.size > 1 and np.any(np.diff(keys) < 0):
+            raise NotSortedError("build keys must be sorted ascending")
+
+        self._auto_rowid = values is None
+        if values is None:
+            values = np.arange(keys.size, dtype=np.int64)
+        else:
+            values = np.asarray(values)
+            if len(values) != keys.size:
+                raise InvalidParameterError(
+                    f"values length {len(values)} != keys length {keys.size}"
+                )
+        self._next_rowid = keys.size
+
+        if index_factory is None:
+            def index_factory(k, v):
+                return FITingTree(
+                    k,
+                    v,
+                    error=error,
+                    buffer_capacity=buffer_capacity,
+                    **index_kwargs,
+                )
+
+        self.cuts = partition_cuts(keys, n_shards)
+        self._shards: List[Any] = [
+            index_factory(keys[a:b], values[a:b])
+            for a, b in shard_bounds(keys, self.cuts)
+        ]
+        self._counter: Any = None
+        self._view_stats: Dict[str, int] = {"view_hits": 0, "view_builds": 0}
+        self._combined: Optional[FlatView] = None
+        self._combined_versions: Optional[Tuple[int, ...]] = None
+        self._stale_reads = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[Any]:
+        """The per-shard indexes (read-only use; mutate via the engine)."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def model_bytes(self) -> int:
+        """Modeled index overhead summed over shards (+ the cut vector)."""
+        return sum(s.model_bytes() for s in self._shards) + 8 * self.cuts.size
+
+    @property
+    def counter(self) -> Any:
+        return self._counter
+
+    @counter.setter
+    def counter(self, counter: Any) -> None:
+        """Instrument every shard (and its tree) with one shared counter."""
+        self._counter = counter
+        for shard in self._shards:
+            shard.counter = counter
+            shard._tree.counter = counter
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine-level stats: totals, flat-view cache hit rate, per-shard
+        segment counts and buffer occupancy."""
+        per_shard = [s.stats() for s in self._shards]
+        views = dict(self._view_stats)
+        touches = views["view_hits"] + views["view_builds"]
+        return {
+            "n": len(self),
+            "n_shards": self.n_shards,
+            "cuts": self.cuts.tolist(),
+            "model_bytes": self.model_bytes(),
+            "n_pages": sum(s["n_pages"] for s in per_shard),
+            "buffered_elements": sum(s["buffered_elements"] for s in per_shard),
+            "view_hits": views["view_hits"],
+            "view_builds": views["view_builds"],
+            "view_hit_rate": views["view_hits"] / touches if touches else 0.0,
+            "shards": per_shard,
+        }
+
+    def validate(self) -> None:
+        """Validate every shard plus the routing invariant (each shard's
+        keys lie inside its cut range)."""
+        for i, shard in enumerate(self._shards):
+            shard.validate()
+            lo = self.cuts[i - 1] if i > 0 else None
+            hi = self.cuts[i] if i < self.cuts.size else None
+            for key in shard.keys():
+                if lo is not None and key < lo:
+                    raise InvalidParameterError(
+                        f"shard {i} holds key {key} below cut {lo}"
+                    )
+                if hi is not None and key >= hi:
+                    raise InvalidParameterError(
+                        f"shard {i} holds key {key} at/above cut {hi}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: float) -> Any:
+        """The shard index owning ``key``."""
+        return self._shards[int(route(self.cuts, [key])[0])]
+
+    def _view(self, shard_idx: int) -> FlatView:
+        return flat_view(self._shards[shard_idx], self._view_stats)
+
+    def _combined_view(self) -> Optional[FlatView]:
+        """Engine-wide FlatView spanning every shard's pages, or ``None``
+        when shard configs are heterogeneous (mixed error bounds/dtypes).
+
+        Assembled by concatenating the cached per-shard views, so a write
+        invalidates (and re-flattens, the expensive Python-level walk) only
+        its own shard; reassembly here is pure ``np.concatenate`` memcpy.
+        This trades memory for speed: pages, per-shard views and the
+        combined view each hold a copy of the data (~3x residency). The
+        ROADMAP's memory-optimization item covers collapsing the per-shard
+        copies into slices of the combined arrays.
+        Shard ranges are disjoint and ordered, so the concatenated page
+        starts and data stay globally sorted and one view answers a whole
+        batch without per-shard grouping.
+        """
+        versions = tuple(s.version for s in self._shards)
+        if self._combined_versions == versions:
+            if self._combined is not None:
+                self._view_stats["view_hits"] += 1
+            return self._combined  # None = known-heterogeneous: grouped path
+        if (
+            self._combined is not None
+            and len(self._shards) > 1
+            and self._stale_reads < _STALE_READS_BEFORE_REBUILD
+        ):
+            # A write just landed. Reassembling the combined view is an
+            # O(total data) concatenation; under a write/read interleave
+            # that would be paid every batch. Serve a few batches through
+            # the grouped per-shard path (only dirty shards re-flatten)
+            # and reassemble once the spend amortizes over enough reads.
+            self._stale_reads += 1
+            return None
+        self._stale_reads = 0
+        views = [self._view(i) for i in range(len(self._shards))]
+        if (
+            len({v.search_error for v in views}) > 1
+            or len({v.values.dtype for v in views}) > 1
+        ):
+            combined = None
+        elif len(views) == 1:
+            combined = views[0]
+        else:
+            data_total = 0
+            buf_total = 0
+            offset_parts = []
+            buf_offset_parts = []
+            route_parts = []
+            for i, v in enumerate(views):
+                offset_parts.append(v.offsets[:-1] + data_total)
+                buf_offset_parts.append(v.buf_offsets[:-1] + buf_total)
+                data_total += int(v.offsets[-1])
+                buf_total += int(v.buf_offsets[-1])
+                rs = v.route_starts
+                if i > 0 and rs.size:
+                    # Lower the shard's first routing key to its cut so
+                    # queries in [cut, first page start) route into this
+                    # shard — exactly where scalar engine routing buffers
+                    # and probes them.
+                    rs = rs.copy()
+                    rs[0] = self.cuts[i - 1]
+                route_parts.append(rs)
+            offset_parts.append(np.asarray([data_total], dtype=np.int64))
+            buf_offset_parts.append(np.asarray([buf_total], dtype=np.int64))
+            combined = FlatView(
+                {
+                    "version": -1,  # never matched; engine caches by shard versions
+                    "search_error": views[0].search_error,
+                    "heights": np.concatenate([v.heights for v in views]),
+                    "starts": np.concatenate([v.starts for v in views]),
+                    "route_starts": np.concatenate(route_parts),
+                    "slopes": np.concatenate([v.slopes for v in views]),
+                    "deletions": np.concatenate([v.deletions for v in views]),
+                    "offsets": np.concatenate(offset_parts),
+                    "keys": np.concatenate([v.keys for v in views]),
+                    "values": np.concatenate([v.values for v in views]),
+                    "buf_offsets": np.concatenate(buf_offset_parts),
+                    "buf_keys": np.concatenate([v.buf_keys for v in views]),
+                    "buf_values": np.concatenate([v.buf_values for v in views]),
+                }
+            )
+        self._combined = combined
+        self._combined_versions = versions
+        return combined
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: float, default: Any = None) -> Any:
+        """Scalar point lookup (routes to one shard's ``get``)."""
+        return self.shard_for(key).get(key, default)
+
+    def __contains__(self, key: float) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def get_batch(self, queries, default: Any = None) -> np.ndarray:
+        """Vectorized point lookups across shards, in request order.
+
+        Routes the batch with one ``searchsorted`` over the cuts, answers
+        each shard's group through its flattened view, and scatters results
+        back. Returns the values dtype when every query hits, else an
+        object array with ``default`` in the miss slots (matching
+        ``PagedIndexBase.get_batch``).
+        """
+        q = np.ascontiguousarray(queries, dtype=np.float64)
+        combined = self._combined_view()
+        if combined is not None:
+            return combined.get_batch(q, default, counter=self._counter)
+        # Heterogeneous shard configs: group queries per shard and answer
+        # each group through that shard's own view.
+        sid = route(self.cuts, q)
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        for i in range(self.n_shards):
+            idx = np.flatnonzero(sid == i)
+            if idx.size == 0:
+                continue
+            res = self._view(i).get_batch(q[idx], default, counter=self._counter)
+            parts.append((idx, res))
+        if not parts:  # empty batch
+            return np.empty(0, dtype=object)
+        # Shards may disagree on value dtype (that is why this fallback
+        # path exists); anything non-uniform scatters losslessly as object.
+        dtypes = {res.dtype for _, res in parts}
+        dtype = dtypes.pop() if len(dtypes) == 1 else np.dtype(object)
+        out = np.empty(q.size, dtype=dtype)
+        for idx, res in parts:
+            out[idx] = res
+        return out
+
+    def range_items(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[Tuple[float, Any]]:
+        """Scalar-compatible range scan stitched across shards in key order."""
+        keys, values = self.range_arrays(lo, hi, include_lo, include_hi)
+        for k, v in zip(keys, values):
+            yield float(k), v
+
+    def range_arrays(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One range query, answered as ``(keys, values)`` arrays."""
+        first = 0 if lo is None else int(route(self.cuts, [lo])[0])
+        last = self.n_shards - 1 if hi is None else int(route(self.cuts, [hi])[0])
+        ks: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        for i in range(first, last + 1):
+            k, v = self._view(i).range_arrays(lo, hi, include_lo, include_hi)
+            ks.append(k)
+            vs.append(v)
+        if not ks:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=object)
+        if len({v.dtype for v in vs}) > 1:
+            # Mixed per-shard value dtypes: concatenate losslessly as
+            # object instead of letting NumPy promote (int64+float64
+            # promotion corrupts large ints).
+            vs = [v.astype(object) for v in vs]
+        return np.concatenate(ks), np.concatenate(vs)
+
+    def range_batch(
+        self,
+        bounds,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One ``(keys, values)`` pair per ``[lo, hi]`` row of ``bounds``.
+
+        Bounds are an ``(n, 2)`` array; every scan reuses the per-shard
+        flattened views built by the first, so a batch of scans pays the
+        snapshot cost once.
+        """
+        bounds = np.asarray(bounds, dtype=np.float64)
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise InvalidParameterError("bounds must be an (n, 2) array")
+        return [
+            self.range_arrays(lo, hi, include_lo, include_hi)
+            for lo, hi in bounds
+        ]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _resolve_batch_values(self, keys: np.ndarray, values) -> np.ndarray:
+        if values is None:
+            if not self._auto_rowid:
+                raise InvalidParameterError(
+                    "this engine stores explicit values; insert_batch "
+                    "requires aligned values"
+                )
+            out = np.arange(
+                self._next_rowid, self._next_rowid + keys.size, dtype=np.int64
+            )
+            self._next_rowid += keys.size
+            return out
+        values = np.asarray(values)
+        if len(values) != keys.size:
+            raise InvalidParameterError(
+                f"values length {len(values)} != keys length {keys.size}"
+            )
+        return values
+
+    def insert(self, key: float, value: Any = None) -> None:
+        """Scalar insert (engine-level row id when built without values)."""
+        if value is None and self._auto_rowid:
+            value = self._next_rowid
+            self._next_rowid += 1
+        self.shard_for(key).insert(key, value)
+
+    def insert_batch(self, keys, values=None) -> None:
+        """Grouped batch insert: route once, apply per shard in key order.
+
+        Keys within a shard are applied in (stable) sorted order so
+        consecutive inserts land in the same segment's buffer; ties keep
+        their request order, making the result state identical to looping
+        ``insert`` per key.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.size == 0:
+            return
+        values = self._resolve_batch_values(keys, values)
+        sid = route(self.cuts, keys)
+        order = np.lexsort((np.arange(keys.size), keys, sid))
+        keys = keys[order]
+        values = values[order]
+        sid = sid[order]
+        group_starts = np.flatnonzero(np.diff(sid)) + 1
+        for chunk_keys, chunk_values, chunk_sid in zip(
+            np.split(keys, group_starts),
+            np.split(values, group_starts),
+            np.split(sid, group_starts),
+        ):
+            shard = self._shards[int(chunk_sid[0])]
+            insert = shard.insert
+            for k, v in zip(chunk_keys, chunk_values):
+                insert(k, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine(n={len(self)}, shards={self.n_shards}, "
+            f"pages={sum(s.n_pages for s in self._shards)})"
+        )

@@ -9,6 +9,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.runner import (
     WorkloadResult,
+    run_batch_lookups,
     run_inserts,
     run_lookups,
     run_range_scans,
@@ -19,6 +20,7 @@ __all__ = [
     "insert_stream",
     "missing_lookups",
     "mixed_lookups",
+    "run_batch_lookups",
     "run_inserts",
     "run_lookups",
     "run_range_scans",

@@ -1,0 +1,100 @@
+"""Range partitioning: cut selection, shard slices, and the router."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError, NotSortedError
+from repro.engine.partition import partition_cuts, route, shard_bounds
+
+key_st = st.integers(min_value=0, max_value=200).map(float)
+build_st = st.lists(key_st, max_size=120).map(sorted)
+
+
+class TestPartitionCuts:
+    def test_even_split(self):
+        keys = np.arange(1000, dtype=np.float64)
+        cuts = partition_cuts(keys, 4)
+        assert cuts.tolist() == [250.0, 500.0, 750.0]
+
+    def test_single_shard_no_cuts(self):
+        assert partition_cuts(np.arange(10.0), 1).size == 0
+
+    def test_empty_keys(self):
+        assert partition_cuts(np.empty(0), 8).size == 0
+
+    def test_strictly_increasing(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.uniform(0, 100, 5000))
+        cuts = partition_cuts(keys, 16)
+        assert np.all(np.diff(cuts) > 0)
+
+    def test_all_equal_keys_collapse_to_one_shard(self):
+        keys = np.full(100, 7.0)
+        assert partition_cuts(keys, 4).size == 0
+
+    def test_more_shards_than_keys(self):
+        keys = np.asarray([1.0, 2.0, 3.0])
+        cuts = partition_cuts(keys, 10)
+        assert np.all(np.diff(cuts) > 0)
+        assert cuts.size <= 2
+
+    def test_invalid_n_shards(self):
+        with pytest.raises(InvalidParameterError):
+            partition_cuts(np.arange(10.0), 0)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(NotSortedError):
+            partition_cuts(np.asarray([3.0, 1.0, 2.0]), 2)
+
+
+class TestRoute:
+    def test_matches_scalar_bisect(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.uniform(0, 1000, 2000))
+        cuts = partition_cuts(keys, 5)
+        queries = rng.uniform(-50, 1050, 500)
+        sids = route(cuts, queries)
+        for q, sid in zip(queries, sids):
+            expected = int(np.sum(cuts <= q))
+            assert sid == expected
+
+    def test_cut_key_routes_right(self):
+        cuts = np.asarray([10.0, 20.0])
+        assert route(cuts, [10.0]).tolist() == [1]
+        assert route(cuts, [20.0]).tolist() == [2]
+        assert route(cuts, [9.999]).tolist() == [0]
+        assert route(cuts, [-1e9]).tolist() == [0]
+
+
+class TestShardBounds:
+    def test_slices_cover_and_partition(self):
+        rng = np.random.default_rng(2)
+        keys = np.sort(rng.integers(0, 300, 4000).astype(np.float64))
+        cuts = partition_cuts(keys, 7)
+        bounds = shard_bounds(keys, cuts)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == len(keys)
+        for (_, e1), (s2, _) in zip(bounds, bounds[1:]):
+            assert e1 == s2
+
+    def test_duplicates_never_straddle(self):
+        keys = np.sort(np.repeat(np.arange(50.0), 40))
+        cuts = partition_cuts(keys, 4)
+        for a, b in shard_bounds(keys, cuts):
+            shard = keys[a:b]
+            if a > 0:
+                assert keys[a - 1] != shard[0]
+
+    @given(keys=build_st, n_shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_route_agrees_with_bounds(self, keys, n_shards):
+        """Every build key routes to the shard whose slice holds it."""
+        arr = np.asarray(keys, dtype=np.float64)
+        cuts = partition_cuts(arr, n_shards)
+        bounds = shard_bounds(arr, cuts)
+        sids = route(cuts, arr)
+        for pos, sid in enumerate(sids):
+            a, b = bounds[sid]
+            assert a <= pos < b

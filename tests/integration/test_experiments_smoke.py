@@ -5,6 +5,8 @@ produce rows and notes, and its headline shape property must hold even at
 small n.
 """
 
+import json
+
 import pytest
 
 from repro.bench import experiment_names, format_table, run_experiment
@@ -36,6 +38,7 @@ def test_experiment_registry_complete():
         "a3",
         "abl_cone",
         "abl_branching",
+        "engine",
     }
 
 
@@ -119,6 +122,21 @@ def test_a3():
     result = rows_of("a3", pattern_counts=(5, 20))
     assert result.rows[0]["greedy"] == result.rows[0]["greedy_expected"]
     assert result.rows[-1]["ratio"] > result.rows[0]["ratio"]
+
+
+def test_engine(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    result = rows_of(
+        "engine", n=4_000, n_queries=1_000, batch_size=256,
+        datasets=("uniform", "iot"), out=str(out),
+    )
+    modes = {r["mode"] for r in result.rows}
+    assert modes == {"scalar", "batch", "sharded-batch"}
+    payload = json.loads(out.read_text())
+    assert payload["experiment"] == "engine"
+    assert len(payload["rows"]) == len(result.rows)
+    for row in payload["rows"]:
+        assert row["wall_ns_per_op"] > 0
 
 
 def test_abl_cone():

@@ -1,10 +1,30 @@
-"""Setup shim: enables legacy editable installs in offline environments.
+"""Packaging for the FITing-Tree reproduction.
 
-The environment this reproduction targets has no network access and no
-``wheel`` package, so ``pip install -e . --no-build-isolation`` needs the
-legacy (setup.py develop) code path. All metadata lives in pyproject.toml.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so legacy editable
+installs (``pip install -e . --no-build-isolation``) work in the offline
+environments this reproduction targets, where build isolation and the
+``wheel`` package are unavailable. The ``test`` extra pins what CI needs
+to run the suite with coverage: ``pip install -e .[test]``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-fiting-tree",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'FITing-Tree: A Data-aware Index Structure' "
+        "(SIGMOD 2019) plus a sharded, vectorized batch serving engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-cov",
+            "hypothesis",
+        ],
+    },
+)

@@ -1,4 +1,4 @@
-"""Engine experiment: scalar vs batch vs sharded-batch lookup throughput.
+"""Engine experiment: read and write throughput of the serving layer.
 
 Beyond the paper: measures what the :mod:`repro.engine` serving layer buys.
 Three execution modes answer the same uniform query stream over the same
@@ -11,10 +11,23 @@ FITing-Tree configuration:
 * ``sharded-batch`` — a :class:`~repro.engine.ShardedEngine`: the batch
   path after range-partitioned shard routing.
 
-The headline claim (pinned by ``tests/engine``): over >= 100k uniform keys
-with batch size 1024 and 4 shards, sharded-batch beats the scalar loop by
->= 5x wall-clock. Results are emitted to ``BENCH_engine.json`` so the perf
-trajectory accumulates across PRs.
+Two write modes then push the same uniform insert stream through a
+write-optimized engine configuration (small segmentation error, generous
+delta buffers — the paper's Figure 12 buffer knob turned toward writes):
+
+* ``insert-per-key`` — the pre-bulk apply path: route and sort once, then
+  one buffered scalar insert per key (a tree descent + bisect each);
+* ``insert-batch`` — the bulk write path: whole per-page chunks merged
+  into delta buffers with one vectorized splice each
+  (``SegmentPage.bulk_insert``), overflow decisions once per page.
+
+Headline claims (pinned by ``tests/engine``): over >= 100k uniform keys,
+sharded-batch beats the scalar read loop by >= 5x, and insert-batch beats
+the per-key apply path by >= 3x. The engine's flat-view memory residency
+(pages + combined view, ~2x table data — see
+``ShardedEngine.residency_report``) is recorded per dataset. Results are
+emitted to ``BENCH_engine.json`` so the perf trajectory accumulates
+across PRs.
 """
 
 from __future__ import annotations
@@ -23,10 +36,13 @@ import json
 import time
 from typing import Any, Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.bench.harness import ExperimentResult, register_experiment
 from repro.core.fiting_tree import FITingTree
 from repro.datasets import get
 from repro.engine import ShardedEngine
+from repro.engine.partition import shard_bounds
 from repro.workloads import run_batch_lookups, uniform_lookups
 
 #: Scalar gets are ~10us each in CPython; cap the scalar reference loop and
@@ -43,6 +59,43 @@ def _wall_ns_scalar(index: FITingTree, queries) -> float:
     return (time.perf_counter() - start) * 1e9 / len(q)
 
 
+def _insert_stream(keys: np.ndarray, n_inserts: int, seed: int):
+    rng = np.random.default_rng(seed)
+    ins_keys = rng.uniform(keys[0], keys[-1], n_inserts)
+    ins_values = np.arange(keys.size, keys.size + n_inserts, dtype=np.int64)
+    return ins_keys, ins_values
+
+
+def _wall_ns_insert_per_key(
+    engine: ShardedEngine, ins_keys: np.ndarray, ins_values: np.ndarray
+) -> float:
+    """The pre-bulk apply path: grouped routing, one scalar insert per key.
+
+    Reproduces what ``ShardedEngine.insert_batch`` did before the bulk
+    write path landed (identical final state). The timer covers the whole
+    path — sort, routing and apply — exactly like the bulk timer covers
+    ``insert_batch`` end to end, so the ratio compares like with like
+    (both sides also pay the same merges/splits).
+    """
+    start = time.perf_counter()
+    order = np.argsort(ins_keys, kind="stable")
+    sk, sv = ins_keys[order], ins_values[order]
+    for sid, (a, b) in enumerate(shard_bounds(sk, engine.cuts)):
+        shard = engine._shards[sid]
+        insert = shard.insert
+        for k, v in zip(sk[a:b], sv[a:b]):
+            insert(k, v)
+    return (time.perf_counter() - start) * 1e9 / ins_keys.size
+
+
+def _wall_ns_insert_batch(
+    engine: ShardedEngine, ins_keys: np.ndarray, ins_values: np.ndarray
+) -> float:
+    start = time.perf_counter()
+    engine.insert_batch(ins_keys, ins_values)
+    return (time.perf_counter() - start) * 1e9 / ins_keys.size
+
+
 @register_experiment("engine")
 def engine(
     n: int = 200_000,
@@ -51,15 +104,22 @@ def engine(
     batch_size: int = 1024,
     n_shards: int = 4,
     error: float = 64.0,
+    n_inserts: Optional[int] = None,
+    insert_error: float = 1056.0,
+    insert_buffer: int = 1024,
     datasets: Sequence[str] = ("uniform", "iot", "maps"),
     out: Optional[str] = "BENCH_engine.json",
 ) -> ExperimentResult:
-    """Throughput of the three execution modes across dataset types."""
+    """Read and write throughput of the engine across dataset types."""
     if n_queries is None:
         n_queries = min(n, 100_000)
+    if n_inserts is None:
+        n_inserts = min(n, 100_000)
+    insert_buffer = min(insert_buffer, max(1, int(insert_error) - 1))
     rows = []
     notes = []
     bench_rows: list = []
+    residency: Dict[str, Dict[str, Any]] = {}
     for name in datasets:
         keys = get(name, n=n, seed=seed)
         queries = uniform_lookups(keys, n_queries, seed=seed + 1)
@@ -72,18 +132,44 @@ def engine(
         batch_res = run_batch_lookups(tree, queries, batch_size=batch_size)
         shard_res = run_batch_lookups(eng, queries, batch_size=batch_size)
         assert batch_res.hits == shard_res.hits == n_queries
+        residency[name] = eng.residency_report()
 
-        for mode, wall_ns in (
-            ("scalar", scalar_ns),
-            ("batch", batch_res.wall_ns_per_op),
-            ("sharded-batch", shard_res.wall_ns_per_op),
+        # Write path: identical engines, identical final state; only the
+        # apply strategy differs (per-key loop vs per-page bulk merges).
+        ins_keys, ins_values = _insert_stream(keys, n_inserts, seed + 2)
+        eng_per_key = ShardedEngine(
+            keys, n_shards=n_shards, error=insert_error,
+            buffer_capacity=insert_buffer,
+        )
+        eng_bulk = ShardedEngine(
+            keys, n_shards=n_shards, error=insert_error,
+            buffer_capacity=insert_buffer,
+        )
+        per_key_ns = _wall_ns_insert_per_key(eng_per_key, ins_keys, ins_values)
+        bulk_ns = _wall_ns_insert_batch(eng_bulk, ins_keys, ins_values)
+        sample = ins_keys[:: max(1, n_inserts // 512)]
+        assert (
+            eng_per_key.get_batch(sample) == eng_bulk.get_batch(sample)
+        ).all(), "bulk write path diverged from per-key apply"
+
+        # Read modes are normalized to the scalar get loop, write modes to
+        # the per-key apply loop; ``baseline`` names each row's reference.
+        for mode, wall_ns, ref_ns, baseline in (
+            ("scalar", scalar_ns, scalar_ns, "scalar"),
+            ("batch", batch_res.wall_ns_per_op, scalar_ns, "scalar"),
+            ("sharded-batch", shard_res.wall_ns_per_op, scalar_ns, "scalar"),
+            ("insert-per-key", per_key_ns, per_key_ns, "insert-per-key"),
+            ("insert-batch", bulk_ns, per_key_ns, "insert-per-key"),
         ):
             row = {
                 "dataset": name,
                 "mode": mode,
                 "wall_ns_per_op": round(wall_ns, 1),
                 "ops_per_second": round(1e9 / wall_ns, 0) if wall_ns else 0.0,
-                "speedup_vs_scalar": round(scalar_ns / wall_ns, 2) if wall_ns else 0.0,
+                "speedup_vs_baseline": (
+                    round(ref_ns / wall_ns, 2) if wall_ns else 0.0
+                ),
+                "baseline": baseline,
             }
             rows.append(row)
             bench_rows.append(dict(row))
@@ -93,6 +179,12 @@ def engine(
             f"({eng.n_shards} shards, {sum(s.n_segments for s in eng.shards)} "
             f"segments)"
         )
+        notes.append(
+            f"{name}: insert-batch {per_key_ns / bulk_ns:.1f}x over "
+            f"per-key apply ({n_inserts} inserts, buffer {insert_buffer}); "
+            f"flat-view residency {residency[name]['residency_ratio']:.2f}x "
+            f"table data"
+        )
 
     params: Dict[str, Any] = {
         "n": n,
@@ -100,19 +192,27 @@ def engine(
         "batch_size": batch_size,
         "n_shards": n_shards,
         "error": error,
+        "n_inserts": n_inserts,
+        "insert_error": insert_error,
+        "insert_buffer": insert_buffer,
         "seed": seed,
     }
     if out:
         with open(out, "w") as fh:
             json.dump(
-                {"experiment": "engine", "params": params, "rows": bench_rows},
+                {
+                    "experiment": "engine",
+                    "params": params,
+                    "rows": bench_rows,
+                    "residency": residency,
+                },
                 fh,
                 indent=2,
             )
         notes.append(f"wrote {out}")
     return ExperimentResult(
         name="engine",
-        title="Batch engine throughput: scalar vs batch vs sharded-batch",
+        title="Engine throughput: batch reads and bulk writes vs scalar",
         rows=rows,
         notes=notes,
         params=params,

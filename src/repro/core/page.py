@@ -21,8 +21,56 @@ from typing import Any, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import InvalidParameterError, InvariantViolationError
+from repro.memsim.counter import binary_search_probes_vec
 
-__all__ = ["SegmentPage"]
+__all__ = ["SegmentPage", "aligned_value_array", "as_value_array"]
+
+
+def _object_array(items: List[Any]) -> np.ndarray:
+    """1-D object array holding ``items`` verbatim.
+
+    ``np.asarray(..., dtype=object)`` recurses into sequence payloads
+    (equal-length tuples become a 2-D array); filling element-wise keeps
+    every payload an opaque scalar.
+    """
+    out = np.empty(len(items), dtype=object)
+    for i, v in enumerate(items):
+        out[i] = v
+    return out
+
+
+def as_value_array(values) -> np.ndarray:
+    """Coerce a batch of payloads to a 1-D array without recursing.
+
+    The batch-insert equivalent of handing each payload to a scalar
+    ``insert``: sequence payloads (tuples, lists — even ragged ones)
+    stay opaque elements of an object array instead of becoming extra
+    array dimensions or a ``ValueError``.
+    """
+    if isinstance(values, np.ndarray):
+        return values
+    try:
+        arr = np.asarray(values)
+    except ValueError:  # ragged sequence payloads
+        return _object_array(list(values))
+    if arr.ndim != 1:
+        return _object_array(list(values))
+    return arr
+
+
+def aligned_value_array(n_keys: int, values) -> np.ndarray:
+    """Explicit batch payloads as a 1-D array aligned with ``n_keys`` keys.
+
+    The shared explicit-values half of every batch resolver (index- and
+    engine-level ``_resolve_batch_values``); the auto-rowid policies stay
+    with their owners.
+    """
+    values = as_value_array(values)
+    if len(values) != n_keys:
+        raise InvalidParameterError(
+            f"values length {len(values)} != keys length {n_keys}"
+        )
+    return values
 
 
 class SegmentPage:
@@ -285,6 +333,74 @@ class SegmentPage:
         self.buf_keys.insert(i, key)
         self.buf_values.insert(i, value)
 
+    def bulk_insert(self, keys, values, counter: Any = None) -> None:
+        """Sort-merge a whole sorted batch into the buffer in one pass.
+
+        ``keys`` must be sorted ascending (float64-coercible); ``values``
+        is an aligned array-like. The resulting buffer is exactly what a
+        loop of :meth:`insert_into_buffer` over the batch (in the given
+        order) produces — including the subtlety that repeated
+        ``bisect_left`` insertion stacks equal keys in *reverse* arrival
+        order, ahead of previously buffered equals — but costs one
+        ``searchsorted`` plus one splice instead of a bisect-and-shift per
+        key. Modeled counter charges match the scalar loop exactly.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        n_new = keys.size
+        if n_new == 0:
+            return
+        # Per-element index within its run of equal keys, and the
+        # permutation reversing each run (the bisect_left tie order).
+        idx = np.arange(n_new, dtype=np.int64)
+        if n_new > 1:
+            run_starts = np.flatnonzero(np.diff(keys) != 0) + 1
+            bounds = np.concatenate(([0], run_starts, [n_new]))
+            run_id = np.zeros(n_new, dtype=np.int64)
+            run_id[run_starts] = 1
+            np.cumsum(run_id, out=run_id)
+            within = idx - bounds[run_id]
+            order = bounds[run_id] + bounds[run_id + 1] - 1 - idx
+        else:
+            within = np.zeros(1, dtype=np.int64)
+            order = np.zeros(1, dtype=np.int64)
+        if isinstance(values, np.ndarray):
+            # list() yields the same scalars a zip over the array would.
+            reordered = list(values[order])
+        else:
+            reordered = [values[i] for i in order.tolist()]
+
+        b0 = len(self.buf_keys)
+        if b0 == 0:
+            pos = np.zeros(n_new, dtype=np.int64)
+            self.buf_keys = keys.tolist()
+            self.buf_values = reordered
+        else:
+            buf_k = np.asarray(self.buf_keys, dtype=np.float64)
+            pos = np.searchsorted(buf_k, keys, side="left")
+            self.buf_keys = np.insert(buf_k, pos, keys).tolist()
+            # Scatter values around the splice points; buffers are bounded
+            # by the owner's capacity, so these list passes stay tiny.
+            tgt = pos + idx
+            merged: List[Any] = [None] * (b0 + n_new)
+            keep = np.ones(b0 + n_new, dtype=bool)
+            keep[tgt] = False
+            for p, v in zip(np.flatnonzero(keep).tolist(), self.buf_values):
+                merged[p] = v
+            for p, v in zip(tgt.tolist(), reordered):
+                merged[p] = v
+            self.buf_values = merged
+
+        if counter is not None:
+            # Exactly the scalar loop's charges: the t-th insert binary-
+            # searches a buffer of b0 + t elements and shifts every element
+            # >= its key (existing ones past its slot plus earlier ties).
+            probes, lines = binary_search_probes_vec(
+                b0 + np.arange(n_new, dtype=np.int64)
+            )
+            counter.buffer_probes += probes
+            counter.buffer_line_misses += lines
+            counter.data_move(int(((b0 - pos) + within).sum()))
+
     def delete_at_data(self, i: int) -> Any:
         """Physically remove data element ``i``; widens future windows by 1."""
         value = self.values[i]
@@ -312,8 +428,10 @@ class SegmentPage:
         dtype = self.values.dtype if values_dtype is None else values_dtype
         keys = np.asarray(self.buf_keys, dtype=np.float64)
         n = len(self.buf_values)
+        if dtype == np.dtype(object):
+            return keys, _object_array(self.buf_values)
         values = np.empty(n, dtype=dtype)
-        if n and dtype != np.dtype(object):
+        if n:
             try:
                 values[:] = self.buf_values
                 exact = all(
@@ -324,10 +442,7 @@ class SegmentPage:
             except (ValueError, TypeError, OverflowError):
                 exact = False
             if not exact:
-                values = np.empty(n, dtype=object)
-                values[:] = self.buf_values
-        elif n:
-            values[:] = self.buf_values
+                values = _object_array(self.buf_values)
         return keys, values
 
     def merged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -337,7 +452,10 @@ class SegmentPage:
         buf_k = np.asarray(self.buf_keys, dtype=self.keys.dtype)
         positions = np.searchsorted(self.keys, buf_k, side="left")
         merged_keys = np.insert(self.keys, positions, buf_k)
-        buf_v = np.asarray(self.buf_values, dtype=self.values.dtype)
+        if self.values.dtype == np.dtype(object):
+            buf_v = _object_array(self.buf_values)
+        else:
+            buf_v = np.asarray(self.buf_values, dtype=self.values.dtype)
         merged_values = np.insert(self.values, positions, buf_v)
         return merged_keys, merged_values
 

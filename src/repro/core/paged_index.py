@@ -35,7 +35,7 @@ from repro.core.errors import (
     KeyNotFoundError,
     NotSortedError,
 )
-from repro.core.page import SegmentPage
+from repro.core.page import SegmentPage, aligned_value_array
 
 __all__ = ["PagedIndexBase"]
 
@@ -434,11 +434,15 @@ class PagedIndexBase:
         if self.counter is not None:
             self.counter.op()
         if len(self._tree) == 0:
+            # Element-wise fill: np.asarray would recurse into sequence
+            # payloads (e.g. a tuple value under an object dtype).
+            first_value = np.empty(1, dtype=self._values_dtype)
+            first_value[0] = value
             page = SegmentPage(
                 key,
                 0.0,
                 np.asarray([key], dtype=np.float64),
-                np.asarray([value], dtype=self._values_dtype),
+                first_value,
             )
             self._tree.insert((key, 0.0), page)
             self._n = 1
@@ -449,6 +453,80 @@ class PagedIndexBase:
         self._n += 1
         if page.n_buffer >= self.buffer_capacity:
             self._rebuild_page(tree_key, page)
+
+    def _resolve_batch_values(self, keys: np.ndarray, values) -> np.ndarray:
+        """Vectorized :meth:`_resolve_value`: one aligned values array.
+
+        Auto-rowid indexes assign ids in request order (before any
+        sorting), matching what :class:`repro.engine.ShardedEngine` has
+        always done for batches.
+        """
+        if values is None:
+            if self._auto_rowid:
+                out = np.arange(
+                    self._next_rowid,
+                    self._next_rowid + keys.size,
+                    dtype=np.int64,
+                )
+                self._next_rowid += keys.size
+                return out
+            if self._values_dtype == np.dtype(object):
+                return np.empty(keys.size, dtype=object)
+            raise InvalidParameterError(
+                "this index stores typed values; insert_batch requires "
+                "aligned values"
+            )
+        return aligned_value_array(keys.size, values)
+
+    def insert_batch(self, keys, values=None) -> None:
+        """Vectorized batch insert: group keys per page, bulk-merge each.
+
+        The final state is identical to looping :meth:`insert` over the
+        batch in stable key order (ties keep request order): each owning
+        page receives its whole contiguous sub-batch through
+        :meth:`SegmentPage.bulk_insert` — one ``searchsorted`` and one
+        splice — sliced to the buffer's remaining room, so a chunk that
+        fills the buffer triggers exactly the merge/re-segmentation a
+        scalar insert would, and the remaining keys re-route against the
+        new pages. There is one overflow/split decision and one
+        :attr:`version` bump per mutated page instead of per key. Empty
+        batches are a strict no-op.
+        """
+        self._check_writable()
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        n = keys.size
+        if n == 0:
+            return
+        values = self._resolve_batch_values(keys, values)
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = values[order]
+        counter = self.counter
+        i = 0
+        while i < n:
+            if len(self._tree) == 0:
+                # Seed the first page exactly like a scalar insert would.
+                self.insert(float(keys[i]), values[i])
+                i += 1
+                continue
+            tree_key, page = self._page_for(float(keys[i]))
+            nxt = self._tree.higher_item(tree_key)
+            if nxt is None:
+                j = n
+            else:
+                # The page owns every batch key below the next page's
+                # start (keys equal to it route to the next page, exactly
+                # as the floor search does).
+                j = i + int(np.searchsorted(keys[i:], nxt[0][0], side="left"))
+            take = min(j - i, self.buffer_capacity - page.n_buffer)
+            page.bulk_insert(keys[i : i + take], values[i : i + take], counter)
+            self._n += take
+            self._version += 1
+            if counter is not None:
+                counter.ops += take
+            i += take
+            if page.n_buffer >= self.buffer_capacity:
+                self._rebuild_page(tree_key, page)
 
     def _rebuild_page(
         self, tree_key: Tuple[float, float], page: SegmentPage

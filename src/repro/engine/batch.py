@@ -36,14 +36,9 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.memsim.counter import _KEYS_PER_LINE
+from repro.memsim.counter import binary_search_probes_vec
 
 __all__ = ["FlatView", "flat_view"]
-
-#: Probes of a binary search that stay within one cache line (the scalar
-#: model's ``binary_search_line_misses`` discount), shared so the batch
-#: accounting can never desync from memsim's.
-_LINE_LOCAL_PROBES = int(math.log2(_KEYS_PER_LINE))
 
 
 def _bounded_leftmost(
@@ -67,23 +62,6 @@ def _bounded_leftmost(
         hi = np.where(active & ~less, mid, hi)
         active = lo < hi
     return lo
-
-
-def _binary_search_probes_vec(windows: np.ndarray) -> Tuple[int, int]:
-    """Batch totals of the scalar cost model's binary-search charges.
-
-    Mirrors ``memsim.counter.binary_search_probes`` / ``_line_misses``:
-    ``ceil(log2(w)) + 1`` probes for ``w > 1``, one for ``w == 1``; line
-    misses are probes minus the final line-local probes, floored at 1.
-    """
-    w = windows[windows > 0]
-    if w.size == 0:
-        return 0, 0
-    probes = np.ones(w.size, dtype=np.int64)
-    big = w > 1
-    probes[big] = np.ceil(np.log2(w[big])).astype(np.int64) + 1
-    line = np.maximum(probes - _LINE_LOCAL_PROBES, 1)
-    return int(probes.sum()), int(line.sum())
 
 
 class FlatView:
@@ -131,6 +109,60 @@ class FlatView:
         self._buf_page_idx: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
+
+    def slice_pages(self, p0: int, p1: int, version: Any) -> "FlatView":
+        """A view over pages ``[p0, p1)`` sharing this view's memory.
+
+        Every data-bearing array of the result is a NumPy slice of this
+        view's arrays (zero-copy); only the per-page offset vectors are
+        rebased (tiny). This is how the engine keeps per-shard views at
+        ~zero marginal residency once the combined view exists: each
+        shard's cached view becomes a window into the combined arrays,
+        keyed by the shard's ``version`` captured at assembly time.
+        """
+        d0, d1 = int(self.offsets[p0]), int(self.offsets[p1])
+        b0, b1 = int(self.buf_offsets[p0]), int(self.buf_offsets[p1])
+        return FlatView(
+            {
+                "version": version,
+                "search_error": self.search_error,
+                "heights": self.heights[p0:p1],
+                # route_starts intentionally omitted: the slice routes by
+                # its own page starts (combined-view cut lowering must not
+                # leak into a standalone per-shard view).
+                "starts": self.starts[p0:p1],
+                "slopes": self.slopes[p0:p1],
+                "deletions": self.deletions[p0:p1],
+                "offsets": self.offsets[p0 : p1 + 1] - d0,
+                "keys": self.keys[d0:d1],
+                "values": self.values[d0:d1],
+                "buf_offsets": self.buf_offsets[p0 : p1 + 1] - b0,
+                "buf_keys": self.buf_keys[b0:b1],
+                "buf_values": self.buf_values[b0:b1],
+            }
+        )
+
+    def nbytes_owned(self, seen: Optional[set] = None) -> int:
+        """Bytes of array memory this view *owns*, for residency accounting.
+
+        Slices borrowing another array's buffer count zero, and ``seen``
+        (ids of arrays already counted) dedupes arrays shared across views
+        — e.g. the single-shard case where the combined view *is* the
+        shard view, or ``route_starts`` aliasing ``starts``.
+        """
+        if seen is None:
+            seen = set()
+        total = 0
+        for name in self.__slots__:
+            arr = getattr(self, name, None)
+            if (
+                isinstance(arr, np.ndarray)
+                and arr.base is None
+                and id(arr) not in seen
+            ):
+                seen.add(id(arr))
+                total += arr.nbytes
+        return total
 
     @property
     def n_pages(self) -> int:
@@ -254,11 +286,11 @@ class FlatView:
         if counter is not None:
             counter.ops += n_queries
             counter.tree_nodes += int(self.heights[pi].sum())
-            probes, lines = _binary_search_probes_vec(ghi - glo)
+            probes, lines = binary_search_probes_vec(ghi - glo)
             counter.segment_probes += probes
             counter.segment_line_misses += lines
             if buf_windows is not None:
-                probes, lines = _binary_search_probes_vec(buf_windows)
+                probes, lines = binary_search_probes_vec(buf_windows)
                 counter.buffer_probes += probes
                 counter.buffer_line_misses += lines
 

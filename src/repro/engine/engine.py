@@ -12,10 +12,13 @@ exposes batch verbs:
   window probe), scattering results back into request order;
 * :meth:`ShardedEngine.range_batch` — per-bound shard overlap resolution,
   each shard contributing one contiguous slice of its flattened arrays;
-* :meth:`ShardedEngine.insert_batch` — group a batch by shard, then apply
-  each group in key order so consecutive inserts hit the same segment
-  buffer; flat views invalidate per shard, so untouched shards keep their
-  snapshots (read-mostly shards stay fast under writes elsewhere).
+* :meth:`ShardedEngine.insert_batch` — route the sorted batch once, then
+  hand each shard its whole contiguous sub-batch; every owning page merges
+  its chunk with one vectorized splice (``PagedIndexBase.insert_batch``),
+  so overflow/split decisions and version bumps happen once per mutated
+  page instead of once per key. Flat views invalidate per shard, so
+  untouched shards keep their snapshots (read-mostly shards stay fast
+  under writes elsewhere).
 
 Scalar ``get`` / ``insert`` / ``range_items`` mirrors are provided so the
 engine drops into any harness an index fits; equivalence between the two
@@ -33,6 +36,7 @@ import numpy as np
 
 from repro.core.errors import InvalidParameterError, NotSortedError
 from repro.core.fiting_tree import FITingTree
+from repro.core.page import aligned_value_array
 from repro.engine.batch import FlatView, flat_view
 from repro.engine.partition import partition_cuts, route, shard_bounds
 
@@ -209,13 +213,13 @@ class ShardedEngine:
         Assembled by concatenating the cached per-shard views, so a write
         invalidates (and re-flattens, the expensive Python-level walk) only
         its own shard; reassembly here is pure ``np.concatenate`` memcpy.
-        This trades memory for speed: pages, per-shard views and the
-        combined view each hold a copy of the data (~3x residency). The
-        ROADMAP's memory-optimization item covers collapsing the per-shard
-        copies into slices of the combined arrays.
-        Shard ranges are disjoint and ordered, so the concatenated page
-        starts and data stay globally sorted and one view answers a whole
-        batch without per-shard grouping.
+        Once assembled, every shard's cached view is re-pointed at a
+        zero-copy slice of the combined arrays (``FlatView.slice_pages``),
+        so steady-state residency is pages + one combined copy (~2x), not
+        pages + per-shard copies + combined (~3x); see
+        :meth:`residency_report`. Shard ranges are disjoint and ordered,
+        so the concatenated page starts and data stay globally sorted and
+        one view answers a whole batch without per-shard grouping.
         """
         versions = tuple(s.version for s in self._shards)
         if self._combined_versions == versions:
@@ -284,7 +288,50 @@ class ShardedEngine:
             )
         self._combined = combined
         self._combined_versions = versions
+        if combined is not None and len(views) > 1:
+            # Collapse per-shard residency: each shard's cached view
+            # becomes a window into the combined arrays. The fresh copies
+            # flat_view() just built for dirty shards are dropped here, so
+            # only pages + combined stay resident (~2x).
+            p0 = 0
+            for shard, view, version in zip(self._shards, views, versions):
+                p1 = p0 + view.n_pages
+                shard._flat_view_cache = combined.slice_pages(p0, p1, version)
+                p0 = p1
         return combined
+
+    def residency_report(self) -> Dict[str, Any]:
+        """Bytes resident per storage tier of the read path.
+
+        ``page_bytes`` is the ground truth: the key/value arrays owned by
+        the pages themselves. ``view_bytes`` is everything the cached
+        flat views *own* on top of that — the combined arrays plus any
+        per-shard arrays that are real copies (slice-backed shard views
+        count zero; see ``FlatView.nbytes_owned``). ``residency_ratio``
+        is ``(page + view) / page`` — ~2x once the combined view is warm,
+        versus ~3x when per-shard views hold their own copies.
+        Python-list insert buffers are excluded (bounded by
+        ``buffer_capacity`` per page).
+        """
+        page_bytes = 0
+        for shard in self._shards:
+            for page in shard.pages():
+                page_bytes += page.keys.nbytes + page.values.nbytes
+        seen: set = set()
+        view_bytes = 0
+        if self._combined is not None:
+            view_bytes += self._combined.nbytes_owned(seen)
+        for shard in self._shards:
+            cached = getattr(shard, "_flat_view_cache", None)
+            if cached is not None:
+                view_bytes += cached.nbytes_owned(seen)
+        return {
+            "page_bytes": int(page_bytes),
+            "view_bytes": int(view_bytes),
+            "residency_ratio": (
+                (page_bytes + view_bytes) / page_bytes if page_bytes else 1.0
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Reads
@@ -405,12 +452,7 @@ class ShardedEngine:
             )
             self._next_rowid += keys.size
             return out
-        values = np.asarray(values)
-        if len(values) != keys.size:
-            raise InvalidParameterError(
-                f"values length {len(values)} != keys length {keys.size}"
-            )
-        return values
+        return aligned_value_array(keys.size, values)
 
     def insert(self, key: float, value: Any = None) -> None:
         """Scalar insert (engine-level row id when built without values)."""
@@ -420,32 +462,28 @@ class ShardedEngine:
         self.shard_for(key).insert(key, value)
 
     def insert_batch(self, keys, values=None) -> None:
-        """Grouped batch insert: route once, apply per shard in key order.
+        """Bulk batch insert: route once, bulk-merge per shard and page.
 
-        Keys within a shard are applied in (stable) sorted order so
-        consecutive inserts land in the same segment's buffer; ties keep
-        their request order, making the result state identical to looping
-        ``insert`` per key.
+        The batch is stable-sorted by key (ties keep request order) and
+        cut into one contiguous sub-batch per shard with a single
+        ``searchsorted`` over the cuts; each shard then sort-merges whole
+        per-page chunks through ``PagedIndexBase.insert_batch``. The
+        resulting state is identical to looping ``insert`` per key in that
+        same order — pinned by the equivalence and stateful suites — at a
+        fraction of the per-key Python cost. An empty batch is a strict
+        no-op: no shard state is touched, no versions bumped, no row ids
+        consumed.
         """
         keys = np.ascontiguousarray(keys, dtype=np.float64)
         if keys.size == 0:
             return
         values = self._resolve_batch_values(keys, values)
-        sid = route(self.cuts, keys)
-        order = np.lexsort((np.arange(keys.size), keys, sid))
+        order = np.argsort(keys, kind="stable")
         keys = keys[order]
         values = values[order]
-        sid = sid[order]
-        group_starts = np.flatnonzero(np.diff(sid)) + 1
-        for chunk_keys, chunk_values, chunk_sid in zip(
-            np.split(keys, group_starts),
-            np.split(values, group_starts),
-            np.split(sid, group_starts),
-        ):
-            shard = self._shards[int(chunk_sid[0])]
-            insert = shard.insert
-            for k, v in zip(chunk_keys, chunk_values):
-                insert(k, v)
+        for sid, (a, b) in enumerate(shard_bounds(keys, self.cuts)):
+            if a < b:
+                self._shards[sid].insert_batch(keys[a:b], values[a:b])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

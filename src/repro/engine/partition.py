@@ -56,8 +56,11 @@ def route(cuts: np.ndarray, queries) -> np.ndarray:
 
 
 def shard_bounds(keys, cuts: np.ndarray) -> List[Tuple[int, int]]:
-    """Per-shard ``[start, end)`` slices of the sorted build array.
+    """Per-shard ``[start, end)`` slices of a sorted key array.
 
+    Works for any sorted batch — the build array at construction time,
+    or a sorted insert batch (``ShardedEngine.insert_batch`` cuts whole
+    sub-batches per shard this way instead of routing key by key).
     Boundaries use ``side="left"`` so every occurrence of a cut key lands
     in the shard that starts at the cut — consistent with :func:`route`.
     """

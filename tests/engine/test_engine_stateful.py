@@ -1,0 +1,135 @@
+"""Stateful property testing: the ShardedEngine vs a sorted-multimap model.
+
+Hypothesis drives arbitrary interleavings of ``insert_batch`` /
+``get_batch`` / ``range_batch`` (plus scalar mirrors) against a
+dict-of-counters + sorted-pairs oracle. The key domain is deliberately
+small relative to the build size so batches routinely contain duplicate
+keys, repeat keys across batches, and straddle shard boundaries; empty
+batches are generated explicitly. After every step the engine must agree
+with the oracle, and per-shard invariants must hold at teardown.
+"""
+
+from bisect import insort
+from collections import Counter
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.engine import ShardedEngine
+
+KEYS = st.integers(min_value=0, max_value=200).map(float)
+#: Batches may be empty — the empty-batch no-op is part of the contract.
+BATCHES = st.lists(KEYS, min_size=0, max_size=40)
+
+
+class ShardedEngineMachine(RuleBasedStateMachine):
+    @initialize(
+        build_keys=st.lists(KEYS, max_size=120).map(sorted),
+        n_shards=st.integers(min_value=1, max_value=6),
+        error=st.integers(min_value=4, max_value=48),
+    )
+    def build(self, build_keys, n_shards, error):
+        self.engine = ShardedEngine(
+            np.asarray(build_keys, dtype=np.float64),
+            n_shards=n_shards,
+            error=error,
+            buffer_capacity=max(1, error // 3),
+        )
+        self.next_rowid = len(build_keys)
+        self.model = Counter(build_keys)
+        #: Sorted (key, value) pairs — the range-scan oracle.
+        self.pairs = [(k, i) for i, k in enumerate(build_keys)]
+
+    @rule(batch=BATCHES)
+    def insert_batch(self, batch):
+        keys = np.asarray(batch, dtype=np.float64)
+        versions = tuple(s.version for s in self.engine._shards)
+        self.engine.insert_batch(keys)
+        if not batch:
+            # Empty batches must not touch shard state or consume row ids.
+            assert tuple(s.version for s in self.engine._shards) == versions
+            assert self.engine._next_rowid == self.next_rowid
+            return
+        for k in batch:
+            self.model[k] += 1
+            insort(self.pairs, (k, self.next_rowid))
+            self.next_rowid += 1
+
+    @rule(batch=BATCHES)
+    def insert_batch_boundary_keys(self, batch):
+        """Batches biased onto the shard cuts themselves (and one key to
+        either side), the routing edge the partition contract pins."""
+        cuts = self.engine.cuts
+        if cuts.size == 0:
+            return
+        keys = []
+        for i, k in enumerate(batch):
+            cut = float(cuts[i % cuts.size])
+            keys.append(cut + (i % 3 - 1))  # cut-1, cut, cut+1 round-robin
+        self.engine.insert_batch(np.asarray(keys, dtype=np.float64))
+        for k in keys:
+            self.model[k] += 1
+            insort(self.pairs, (k, self.next_rowid))
+            self.next_rowid += 1
+
+    @rule(queries=st.lists(KEYS, min_size=0, max_size=30))
+    def get_batch_agrees(self, queries):
+        q = np.asarray(queries, dtype=np.float64)
+        sentinel = object()
+        got = self.engine.get_batch(q, sentinel)
+        assert len(got) == len(queries)
+        for key, value in zip(queries, got):
+            if self.model[key] > 0:
+                assert value is not sentinel, f"batch missed present key {key}"
+                assert any(
+                    k == key and v == value for k, v in self.pairs
+                ), f"wrong value {value} for {key}"
+            else:
+                assert value is sentinel, f"batch hit absent key {key}"
+
+    @rule(key=KEYS)
+    def scalar_get_agrees(self, key):
+        present = self.model[key] > 0
+        assert (key in self.engine) == present
+
+    @rule(
+        bounds=st.lists(
+            st.tuples(KEYS, st.integers(min_value=0, max_value=60)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def range_batch_agrees(self, bounds):
+        arr = np.asarray([[lo, lo + span] for lo, span in bounds])
+        results = self.engine.range_batch(arr)
+        assert len(results) == len(bounds)
+        for (lo, span), (keys, values) in zip(bounds, results):
+            hi = lo + span
+            expected = [k for k, _ in self.pairs if lo <= k <= hi]
+            assert list(keys) == expected
+            got_pairs = sorted(zip(keys.tolist(), (int(v) for v in values)))
+            assert got_pairs == sorted(
+                (k, v) for k, v in self.pairs if lo <= k <= hi
+            )
+
+    @invariant()
+    def size_agrees(self):
+        if hasattr(self, "engine"):
+            assert len(self.engine) == sum(self.model.values())
+
+    def teardown(self):
+        if hasattr(self, "engine"):
+            self.engine.validate()
+
+
+TestShardedEngineStateful = ShardedEngineMachine.TestCase
+TestShardedEngineStateful.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,175 @@
+"""The bulk write path: state equivalence, no-op edges, residency, speed.
+
+Pins the PR's write-path contract:
+
+* ``ShardedEngine.insert_batch`` leaves exactly the state the per-key
+  apply path (route + one buffered scalar insert per key) leaves;
+* an empty batch is a strict no-op — no shard versions bumped, no row ids
+  consumed, no flat views invalidated;
+* steady-state flat-view residency is ~2x table data (pages + combined
+  view), not ~3x (per-shard views are zero-copy slices of the combined
+  arrays);
+* at 100k+ keys the bulk path clears the 3x acceptance bar over the
+  per-key apply path.
+"""
+
+import time
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import get
+from repro.engine import ShardedEngine
+from repro.engine.partition import shard_bounds
+
+key_st = st.integers(min_value=0, max_value=300).map(float)
+
+
+def apply_per_key(engine, keys, values):
+    """The pre-bulk apply path: grouped routing, scalar insert per key."""
+    order = np.argsort(keys, kind="stable")
+    sk, sv = keys[order], values[order]
+    for sid, (a, b) in enumerate(shard_bounds(sk, engine.cuts)):
+        shard = engine._shards[sid]
+        for k, v in zip(sk[a:b], sv[a:b]):
+            shard.insert(k, v)
+
+
+def engine_state(engine):
+    return [
+        (
+            page.start_key,
+            page.keys.tolist(),
+            list(page.values),
+            [float(k) for k in page.buf_keys],
+            list(page.buf_values),
+        )
+        for shard in engine._shards
+        for page in shard.pages()
+    ]
+
+
+class TestBulkEquivalence:
+    @given(
+        build=st.lists(key_st, max_size=200).map(sorted),
+        batch=st.lists(key_st, max_size=150),
+        n_shards=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_state_identical_to_per_key_apply(self, build, batch, n_shards):
+        arr = np.asarray(build, dtype=np.float64)
+        bulk = ShardedEngine(arr, n_shards=n_shards, error=24, buffer_capacity=6)
+        ref = ShardedEngine(arr, n_shards=n_shards, error=24, buffer_capacity=6)
+        keys = np.asarray(batch, dtype=np.float64)
+        values = np.arange(len(build), len(build) + len(batch), dtype=np.int64)
+        bulk.insert_batch(keys, values)
+        if keys.size:
+            apply_per_key(ref, keys, values)
+        bulk.validate()
+        assert engine_state(bulk) == engine_state(ref)
+
+    def test_large_mixed_batch(self):
+        keys = get("uniform", n=20_000, seed=3)
+        bulk = ShardedEngine(keys, n_shards=4, error=128, buffer_capacity=32)
+        ref = ShardedEngine(keys, n_shards=4, error=128, buffer_capacity=32)
+        rng = np.random.default_rng(4)
+        ins = rng.uniform(keys.min() - 100, keys.max() + 100, 5_000)
+        vals = np.arange(len(keys), len(keys) + ins.size, dtype=np.int64)
+        bulk.insert_batch(ins, vals)
+        apply_per_key(ref, ins, vals)
+        assert engine_state(bulk) == engine_state(ref)
+        q = np.concatenate([ins, keys[:2000]])
+        assert (bulk.get_batch(q) == ref.get_batch(q)).all()
+
+
+class TestEmptyBatchNoOp:
+    def test_empty_batch_touches_nothing(self):
+        keys = np.sort(np.random.default_rng(5).uniform(0, 1e6, 5_000))
+        engine = ShardedEngine(keys, n_shards=4, error=64)
+        engine.get_batch(keys[:256])  # warm the flat views
+        versions = tuple(s.version for s in engine._shards)
+        rowid = engine._next_rowid
+        builds = engine.stats()["view_builds"]
+
+        for empty in (np.empty(0), [], np.asarray([], dtype=np.float64)):
+            engine.insert_batch(empty)
+
+        assert tuple(s.version for s in engine._shards) == versions
+        assert engine._next_rowid == rowid
+        assert len(engine) == keys.size
+        # Views stayed valid: the next batch is a cache hit, not a rebuild.
+        engine.get_batch(keys[:256])
+        assert engine.stats()["view_builds"] == builds
+
+    def test_empty_batch_on_empty_engine(self):
+        engine = ShardedEngine()
+        engine.insert_batch(np.empty(0))
+        assert len(engine) == 0
+        assert engine._next_rowid == 0
+
+
+class TestResidency:
+    def test_combined_view_residency_is_2x(self):
+        """Pages + combined view only: per-shard views are slices."""
+        keys = get("uniform", n=50_000, seed=6)
+        engine = ShardedEngine(keys, n_shards=4, error=64, buffer_capacity=0)
+        engine.get_batch(keys[:1024])  # build per-shard + combined views
+        report = engine.residency_report()
+        assert report["page_bytes"] > 0
+        assert 1.8 <= report["residency_ratio"] <= 2.2, report
+        # Shard views really are windows into the combined arrays.
+        combined = engine._combined
+        for shard in engine._shards:
+            view = shard._flat_view_cache
+            assert np.shares_memory(view.keys, combined.keys)
+            assert np.shares_memory(view.values, combined.values)
+
+    def test_sliced_views_answer_grouped_reads(self):
+        """After a write dirties one shard, the grouped read path mixes
+        slice-backed clean views with a rebuilt dirty view correctly."""
+        keys = get("uniform", n=20_000, seed=7)
+        engine = ShardedEngine(keys, n_shards=4, error=64, buffer_capacity=32)
+        engine.get_batch(keys[:512])  # assemble combined + slices
+        engine.insert_batch(np.asarray([keys[100] + 0.5]))  # dirty one shard
+        q = np.concatenate([keys[:1000], [keys[100] + 0.5]])
+        sentinel = object()
+        got = engine.get_batch(q, sentinel)
+        for key, value in zip(q, got):
+            assert value is not sentinel
+            assert engine.get(key, sentinel) == value
+
+
+class TestAcceptanceSpeedup:
+    def test_insert_batch_beats_per_key_apply_3x(self):
+        """The PR's headline write number: >= 3x over the per-key apply
+        path at 100k uniform keys (write-optimized buffer config)."""
+        keys = get("uniform", n=100_000, seed=8)
+        rng = np.random.default_rng(9)
+        ins = rng.uniform(keys[0], keys[-1], 100_000)
+        vals = np.arange(keys.size, keys.size + ins.size, dtype=np.int64)
+
+        def build():
+            return ShardedEngine(
+                keys, n_shards=4, error=1056.0, buffer_capacity=1024
+            )
+
+        # Best-of-2 on both sides to keep CI timing noise out of the ratio.
+        per_key_seconds, bulk_seconds = [], []
+        for _ in range(2):
+            ref = build()
+            start = time.perf_counter()
+            apply_per_key(ref, ins, vals)
+            per_key_seconds.append(time.perf_counter() - start)
+
+            bulk = build()
+            start = time.perf_counter()
+            bulk.insert_batch(ins, vals)
+            bulk_seconds.append(time.perf_counter() - start)
+
+        # Identical state (spot check: every inserted key answers equally).
+        sample = ins[::257]
+        assert (ref.get_batch(sample) == bulk.get_batch(sample)).all()
+
+        ratio = min(per_key_seconds) / min(bulk_seconds)
+        assert ratio >= 3.0, f"insert speedup {ratio:.1f}x below the 3x bar"

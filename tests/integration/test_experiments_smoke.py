@@ -131,12 +131,40 @@ def test_engine(tmp_path):
         datasets=("uniform", "iot"), out=str(out),
     )
     modes = {r["mode"] for r in result.rows}
-    assert modes == {"scalar", "batch", "sharded-batch"}
+    assert modes == {
+        "scalar", "batch", "sharded-batch", "insert-per-key", "insert-batch",
+    }
     payload = json.loads(out.read_text())
     assert payload["experiment"] == "engine"
     assert len(payload["rows"]) == len(result.rows)
     for row in payload["rows"]:
         assert row["wall_ns_per_op"] > 0
+    # The write experiment records the flat-view residency model per
+    # dataset: pages + combined view == ~2x table data once views warm.
+    assert set(payload["residency"]) == {"uniform", "iot"}
+    for report in payload["residency"].values():
+        assert report["page_bytes"] > 0
+        assert 1.0 <= report["residency_ratio"] <= 2.5
+    # Write modes exercise the bulk path end to end even at toy n; their
+    # speedups are normalized to the per-key apply path, not scalar gets.
+    insert_rows = [r for r in payload["rows"] if r["mode"] == "insert-batch"]
+    assert len(insert_rows) == 2
+    for row in insert_rows:
+        assert row["baseline"] == "insert-per-key"
+        assert row["speedup_vs_baseline"] > 0
+
+
+def test_engine_insert_params_respected(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    result = rows_of(
+        "engine", n=2_000, n_queries=500, n_inserts=750, batch_size=128,
+        insert_error=64.0, insert_buffer=32, datasets=("uniform",),
+        out=str(out),
+    )
+    payload = json.loads(out.read_text())
+    assert payload["params"]["n_inserts"] == 750
+    assert payload["params"]["insert_buffer"] == 32
+    assert any("insert-batch" == r["mode"] for r in payload["rows"])
 
 
 def test_abl_cone():

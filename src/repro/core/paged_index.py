@@ -136,10 +136,12 @@ class PagedIndexBase:
 
     @property
     def n_pages(self) -> int:
+        """Number of pages currently indexed by the B+ tree."""
         return len(self._tree)
 
     @property
     def height(self) -> int:
+        """Height of the B+ tree routing to the pages."""
         return self._tree.height
 
     @property
@@ -156,6 +158,7 @@ class PagedIndexBase:
         return self._tree.model_bytes() + self.metadata_bytes_per_page * self.n_pages
 
     def pages(self) -> Iterator[SegmentPage]:
+        """Yield every page in key (tree) order."""
         for _, page in self._tree.items():
             yield page
 
@@ -349,10 +352,24 @@ class PagedIndexBase:
         time), this routes, interpolates and window-searches the whole batch
         with NumPy array passes; results match :meth:`get` exactly for
         finite queries (non-finite ones, on which :meth:`get` raises, miss
-        cleanly here). The
-        snapshot is cached and invalidated by :attr:`version`. Returns an
-        array in the values dtype when every query hits, otherwise an
-        object array with ``default`` in the missing slots.
+        cleanly here). The snapshot is cached and invalidated by
+        :attr:`version`. Cost for K queries over P pages: O(K log P)
+        routing plus O(K log error) lock-step probe passes (after an
+        amortized O(n) snapshot build on the first post-write batch).
+
+        Parameters
+        ----------
+        queries:
+            Key batch, any array-like coercible to float64.
+        default:
+            Value stored in the slot of every query with no match.
+
+        Returns
+        -------
+        numpy.ndarray
+            One value per query: the values dtype when every query hits,
+            otherwise an object array with ``default`` in the missing
+            slots.
         """
         from repro.engine.batch import flat_view
 
@@ -398,6 +415,7 @@ class PagedIndexBase:
             yield from page.iter_items()
 
     def keys(self) -> Iterator[float]:
+        """Every key in ascending order (duplicates included)."""
         for k, _ in self.items():
             yield k
 
@@ -490,7 +508,18 @@ class PagedIndexBase:
         scalar insert would, and the remaining keys re-route against the
         new pages. There is one overflow/split decision and one
         :attr:`version` bump per mutated page instead of per key. Empty
-        batches are a strict no-op.
+        batches are a strict no-op. Cost for K inserts: one O(K log K)
+        sort, one tree descent per touched page, and O(K + rebuilt-page
+        data) merge work.
+
+        Parameters
+        ----------
+        keys:
+            Keys to insert, any order, any array-like coercible to
+            float64.
+        values:
+            Aligned payloads; ``None`` assigns auto row ids in request
+            order (auto-rowid indexes only).
         """
         self._check_writable()
         keys = np.ascontiguousarray(keys, dtype=np.float64)

@@ -133,7 +133,22 @@ class ShardedEngine:
 
     @property
     def n_shards(self) -> int:
+        """Effective shard count (may be below the requested count)."""
         return len(self._shards)
+
+    @property
+    def version(self) -> int:
+        """Monotonic engine-wide mutation stamp (sum of shard versions).
+
+        Every write path bumps at least one shard's version, and shards are
+        never removed, so this only moves forward. Observers use it as a
+        flush barrier: the async serving layer records it after each insert
+        dispatch (``RequestBatcher.stats()["barrier_version"]``) so
+        "reads submitted after this write see it" is checkable, and the
+        batcher's insert-failure fallback compares it to prove the engine
+        applied nothing before retrying per key.
+        """
+        return sum(s.version for s in self._shards)
 
     @property
     def shards(self) -> List[Any]:
@@ -149,6 +164,7 @@ class ShardedEngine:
 
     @property
     def counter(self) -> Any:
+        """The shared access counter instrumenting every shard (or None)."""
         return self._counter
 
     @counter.setter
@@ -202,6 +218,19 @@ class ShardedEngine:
     def shard_for(self, key: float) -> Any:
         """The shard index owning ``key``."""
         return self._shards[int(route(self.cuts, [key])[0])]
+
+    def warm(self) -> None:
+        """Best-effort pre-build of the cached read-path snapshots.
+
+        Builds every shard's flat view and (when shard configs are
+        homogeneous) the combined engine-wide view, so the first real
+        batch does not pay the O(total data) flatten/concat cost.
+        ``repro.serve.Server.warm`` runs this through its worker-thread
+        executor at startup so the event loop never blocks on it; calling
+        it again after writes is safe (it rebuilds only what is stale,
+        subject to the same amortization grace the read path uses).
+        """
+        self._combined_view()
 
     def _view(self, shard_idx: int) -> FlatView:
         return flat_view(self._shards[shard_idx], self._view_stats)
@@ -307,11 +336,16 @@ class ShardedEngine:
         the pages themselves. ``view_bytes`` is everything the cached
         flat views *own* on top of that — the combined arrays plus any
         per-shard arrays that are real copies (slice-backed shard views
-        count zero; see ``FlatView.nbytes_owned``). ``residency_ratio``
-        is ``(page + view) / page`` — ~2x once the combined view is warm,
-        versus ~3x when per-shard views hold their own copies.
-        Python-list insert buffers are excluded (bounded by
-        ``buffer_capacity`` per page).
+        count zero; see ``FlatView.nbytes_owned``). Python-list insert
+        buffers are excluded (bounded by ``buffer_capacity`` per page).
+
+        Returns
+        -------
+        dict
+            ``page_bytes``, ``view_bytes`` (both ints) and
+            ``residency_ratio`` = ``(page + view) / page`` — ~2x once the
+            combined view is warm, versus ~3x when per-shard views hold
+            their own copies.
         """
         page_bytes = 0
         for shard in self._shards:
@@ -350,9 +384,24 @@ class ShardedEngine:
 
         Routes the batch with one ``searchsorted`` over the cuts, answers
         each shard's group through its flattened view, and scatters results
-        back. Returns the values dtype when every query hits, else an
-        object array with ``default`` in the miss slots (matching
-        ``PagedIndexBase.get_batch``).
+        back. Cost for K queries over P pages: O(K log P) for routing plus
+        O(K log error) lock-step window probes — a handful of whole-batch
+        array passes instead of K Python descents.
+
+        Parameters
+        ----------
+        queries:
+            Key batch, any array-like coercible to float64; order is
+            preserved in the result.
+        default:
+            Value stored in the slot of every query with no match.
+
+        Returns
+        -------
+        numpy.ndarray
+            One value per query: the values dtype when every query hits,
+            else an object array with ``default`` in the miss slots
+            (matching ``PagedIndexBase.get_batch``).
         """
         q = np.ascontiguousarray(queries, dtype=np.float64)
         combined = self._combined_view()
@@ -424,9 +473,23 @@ class ShardedEngine:
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """One ``(keys, values)`` pair per ``[lo, hi]`` row of ``bounds``.
 
-        Bounds are an ``(n, 2)`` array; every scan reuses the per-shard
-        flattened views built by the first, so a batch of scans pays the
-        snapshot cost once.
+        Every scan reuses the per-shard flattened views built by the
+        first, so a batch of B scans pays the O(total data) snapshot cost
+        once; each scan is then O(log n) ``searchsorted`` bounds plus an
+        O(m) copy of its m matching rows.
+
+        Parameters
+        ----------
+        bounds:
+            ``(n, 2)`` array-like of inclusive ``[lo, hi]`` key bounds.
+        include_lo, include_hi:
+            Bound inclusivity, applied to every scan in the batch.
+
+        Returns
+        -------
+        list of (numpy.ndarray, numpy.ndarray)
+            For each bounds row, the matching ``(keys, values)`` arrays in
+            key order (exactly the order ``range_items`` yields).
         """
         bounds = np.asarray(bounds, dtype=np.float64)
         if bounds.ndim != 2 or bounds.shape[1] != 2:
@@ -472,7 +535,17 @@ class ShardedEngine:
         same order — pinned by the equivalence and stateful suites — at a
         fraction of the per-key Python cost. An empty batch is a strict
         no-op: no shard state is touched, no versions bumped, no row ids
-        consumed.
+        consumed. Cost for K inserts: one O(K log K) sort, one routing
+        pass over the cuts, then O(K + touched-page data) merge work.
+
+        Parameters
+        ----------
+        keys:
+            Keys to insert, any order, any array-like coercible to
+            float64.
+        values:
+            Aligned payloads; ``None`` assigns engine-wide auto row ids in
+            request order (only on engines built without explicit values).
         """
         keys = np.ascontiguousarray(keys, dtype=np.float64)
         if keys.size == 0:

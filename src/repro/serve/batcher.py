@@ -1,0 +1,587 @@
+"""Micro-batching request accumulator over the engine's batch verbs.
+
+The engine (:class:`repro.engine.ShardedEngine`) is fast when it answers
+*batches* — one vectorized pass instead of one Python descent per key — but
+serving traffic arrives as independent per-caller ``await`` s. The
+:class:`RequestBatcher` closes that gap: concurrent ``submit_get`` /
+``submit_range`` / ``submit_insert`` calls park their futures in pending
+lists, a flush coalesces the lists into arrays, dispatches them through
+``get_batch`` / ``range_batch`` / ``insert_batch``, and fans the results
+back out to each caller's future.
+
+Flush triggers (first one wins):
+
+* **size** — pending requests reach ``max_batch``;
+* **delay** — ``max_delay`` seconds elapsed since the first pending request
+  (a lone request is never stranded);
+* **idle** (on by default, ``eager_flush``) — the event loop ran out of
+  ready work, i.e. every live producer has submitted and suspended. This is
+  what makes closed-loop traffic batch perfectly at any concurrency without
+  paying ``max_delay`` of added latency: with N blocked clients the batch
+  is exactly N.
+
+Ordering guarantees (read-your-writes):
+
+* Flush cycles are serialized by an ``asyncio.Lock``; within a cycle the
+  dispatch order is reads, then inserts, then *barriered* reads.
+* A read submitted while inserts are pending is *barriered* — held back
+  until after the insert dispatch — iff its key (or range) overlaps the
+  pending inserts' key fence ``[min, max]``. Non-overlapping reads keep
+  batching ahead of the write. After the insert flush, the engine's
+  monotonic :attr:`~repro.engine.ShardedEngine.version` stamp is recorded
+  so the barrier is observable (``stats()["barrier_version"]``).
+* A read submitted *after* a flush started waits on the lock, so it always
+  sees any insert dispatched in that cycle.
+
+Failure isolation: a poisoned batch (e.g. one key that cannot coerce to
+float) falls back to per-request scalar verbs, so only the offending
+request gets the exception and its batch-mates still succeed. For insert
+batches the fallback is attempted only when the engine's version stamp
+proves nothing was applied; otherwise the whole batch fails loudly rather
+than risk double-applying a prefix.
+
+Blocking: dispatch runs inline on the event loop by default (fast, and a
+flush never yields mid-cycle), or on a caller-supplied single-worker
+executor so a large page merge cannot stall the loop (the engine is not
+thread-safe, hence single-worker; the flush lock already serializes entry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["RequestBatcher"]
+
+#: Sentinel distinguishing "missing" from any user value or default.
+_MISS = object()
+
+
+def _zero() -> float:
+    """Observer-less stand-in for ``time.perf_counter`` (see __init__)."""
+    return 0.0
+
+
+def _each(fn: Callable[..., Any], argss: List[Tuple]) -> List[Tuple[bool, Any]]:
+    """Apply ``fn`` to each args tuple, isolating per-item exceptions.
+
+    Returns one ``(ok, result_or_exception)`` pair per item. Used as the
+    scalar fallback when a vectorized dispatch fails: run in a single
+    executor hop, but keep failures contained to their own request.
+    """
+    out: List[Tuple[bool, Any]] = []
+    for args in argss:
+        try:
+            out.append((True, fn(*args)))
+        except Exception as exc:  # isolation by design
+            out.append((False, exc))
+    return out
+
+
+class RequestBatcher:
+    """Accumulate concurrent requests into micro-batches over an engine.
+
+    Parameters
+    ----------
+    engine:
+        Anything exposing the engine verbs — scalar ``get`` / ``insert`` /
+        ``range_arrays`` plus batch ``get_batch`` / ``range_batch`` /
+        ``insert_batch`` (a :class:`~repro.engine.ShardedEngine` or a bare
+        :class:`~repro.core.paged_index.PagedIndexBase`-derived index).
+    max_batch:
+        Dispatch granularity: a flush cuts pending requests into chunks of
+        at most this many; reaching it also triggers an immediate flush.
+        ``1`` disables batching entirely: each request becomes its own
+        event-loop task running the scalar engine verb — the per-request
+        scheduling any unbatched asyncio service pays (this is the
+        "naive per-request awaits" mode the serve benchmark compares
+        against). Ordering still follows submission order: the tasks run
+        FIFO.
+    max_delay:
+        Upper bound, in seconds, on how long a pending request may wait for
+        batch-mates before the timer flushes it.
+    eager_flush:
+        Also flush when the event loop goes idle (see module doc). Disable
+        to get strict size-or-delay semantics, e.g. to test the timer.
+    executor:
+        Optional ``concurrent.futures.Executor`` the dispatch calls run on
+        (``None`` = inline on the event loop). Must be single-worker: the
+        engine is not thread-safe.
+    observer:
+        Optional ``f(kind, latencies)`` called at each dispatch's fan-out
+        with the list of end-to-end latencies (seconds) of the requests
+        just completed; the :class:`~repro.serve.Server` wires its latency
+        series in through this.
+
+    All ``submit_*`` methods must be called from a running event loop and
+    return an :class:`asyncio.Future` resolving to the operation's result.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        max_batch: int = 1024,
+        max_delay: float = 0.002,
+        eager_flush: bool = True,
+        executor: Any = None,
+        observer: Optional[Callable[[str, List[float]], None]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise InvalidParameterError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        if max_delay < 0:
+            raise InvalidParameterError(
+                f"max_delay must be >= 0, got {max_delay}"
+            )
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.eager_flush = bool(eager_flush)
+        self._executor = executor
+        self._observer = observer
+        # Per-request enqueue timestamps exist only to feed the observer;
+        # with no observer installed the clock reads are skipped entirely
+        # (a measurable saving at millions of requests).
+        self._clock = time.perf_counter if observer is not None else _zero
+
+        # Pending ops: (key, default, future, t0) / (lo, hi, future, t0) /
+        # (key, value, future, t0).
+        self._gets: List[Tuple] = []
+        self._ranges: List[Tuple] = []
+        self._inserts: List[Tuple] = []
+        #: Reads overlapping the pending inserts' key fence; dispatched
+        #: after the inserts in the same flush cycle (read-your-writes).
+        self._held_gets: List[Tuple] = []
+        self._held_ranges: List[Tuple] = []
+        self._fence_lo = math.inf
+        self._fence_hi = -math.inf
+
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._flush_scheduled = False
+        self._gen = 0  # submission generation, for idle-flush detection
+        self._idle_armed = False
+        self._n_pending = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Created lazily on first flush: on Python 3.9 an asyncio.Lock
+        # built outside a running loop binds the wrong loop.
+        self._lock: Optional[asyncio.Lock] = None
+        #: In-flight per-request tasks (max_batch=1 mode only); drain()
+        #: awaits them so close still guarantees completion.
+        self._solo_tasks: set = set()
+        self._stats: Dict[str, Any] = {
+            "flushes": 0,
+            "batches": {"get": 0, "range": 0, "insert": 0},
+            "ops": {"get": 0, "range": 0, "insert": 0},
+            "max_batch_observed": 0,
+            "scalar_fallbacks": 0,
+            "barrier_held": 0,
+            "barrier_version": None,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of requests accepted but not yet dispatched."""
+        return self._n_pending
+
+    def stats(self) -> Dict[str, Any]:
+        """Dispatch counters: flushes, batches and ops per kind, the
+        largest batch observed, scalar fallbacks taken, reads held at the
+        write barrier, and the engine version stamped by the last insert
+        flush.
+
+        Returns
+        -------
+        dict
+            A snapshot (safe to mutate) of the counters listed above plus
+            ``pending``, the current queue depth.
+        """
+        out = dict(self._stats)
+        out["batches"] = dict(self._stats["batches"])
+        out["ops"] = dict(self._stats["ops"])
+        out["pending"] = self.pending
+        return out
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _get_loop(self) -> asyncio.AbstractEventLoop:
+        loop = self._loop
+        if loop is None:
+            # Cached on first submission; a batcher serves one event loop
+            # for its lifetime (timers and futures are loop-bound anyway).
+            loop = self._loop = asyncio.get_running_loop()
+        return loop
+
+    def submit_get(self, key: Any, default: Any = None) -> asyncio.Future:
+        """Enqueue a point lookup; resolves to its value (or ``default``).
+
+        The hottest entry point: the ``_after_submit`` trigger logic is
+        inlined here (and only here) to keep per-request overhead down.
+        """
+        loop = self._loop
+        if loop is None:
+            loop = self._get_loop()
+        fut = loop.create_future()
+        op = (key, default, fut, self._clock())
+        if self.max_batch == 1:
+            self._solo(loop, self._dispatch_gets, op)
+            return fut
+        if self._inserts and self._read_overlaps_fence(key, key):
+            self._held_gets.append(op)
+            self._stats["barrier_held"] += 1
+        else:
+            self._gets.append(op)
+        self._gen += 1
+        n = self._n_pending = self._n_pending + 1
+        if n >= self.max_batch:
+            self._schedule_flush()
+        else:
+            if self._timer is None and not self._flush_scheduled:
+                self._timer = loop.call_later(
+                    self.max_delay, self._timer_fired
+                )
+            if self.eager_flush and not self._idle_armed:
+                self._idle_armed = True
+                loop.call_soon(self._idle_fired, self._gen)
+        return fut
+
+    def submit_range(self, lo: Any, hi: Any) -> asyncio.Future:
+        """Enqueue a range scan; resolves to a ``(keys, values)`` pair."""
+        loop = self._get_loop()
+        fut = loop.create_future()
+        op = (lo, hi, fut, self._clock())
+        if self.max_batch == 1:
+            self._solo(loop, self._dispatch_ranges, op)
+            return fut
+        if self._inserts and self._read_overlaps_fence(lo, hi):
+            self._held_ranges.append(op)
+            self._stats["barrier_held"] += 1
+        else:
+            self._ranges.append(op)
+        self._after_submit(loop)
+        return fut
+
+    def submit_insert(self, key: Any, value: Any = None) -> asyncio.Future:
+        """Enqueue an insert; resolves to ``None`` once applied."""
+        loop = self._get_loop()
+        fut = loop.create_future()
+        if self.max_batch == 1:
+            self._solo(loop, self._dispatch_inserts, (key, value, fut, self._clock()))
+            return fut
+        self._inserts.append((key, value, fut, self._clock()))
+        try:
+            fk = float(key)
+        except (TypeError, ValueError):
+            # Unroutable key: widen the fence to everything so no read
+            # can jump ahead of a write we cannot reason about.
+            self._fence_lo, self._fence_hi = -math.inf, math.inf
+        else:
+            self._fence_lo = min(self._fence_lo, fk)
+            self._fence_hi = max(self._fence_hi, fk)
+        self._after_submit(loop)
+        return fut
+
+    def _solo(self, loop: asyncio.AbstractEventLoop, dispatch, op: Tuple) -> None:
+        """Per-request dispatch (``max_batch=1``): one task per request.
+
+        Tasks are created in submission order and each runs its scalar
+        dispatch to completion on first step (inline execution never
+        yields; a single-worker executor serializes FIFO), so ordering —
+        including read-your-writes — matches submission order without the
+        fence machinery.
+        """
+        task = loop.create_task(dispatch([op]))
+        self._solo_tasks.add(task)
+        task.add_done_callback(self._solo_tasks.discard)
+
+    def _read_overlaps_fence(self, lo: Any, hi: Any) -> bool:
+        """Whether a read of ``[lo, hi]`` must wait for pending inserts."""
+        try:
+            flo = -math.inf if lo is None else float(lo)
+            fhi = math.inf if hi is None else float(hi)
+        except (TypeError, ValueError):
+            return True  # unroutable read: stay ordered, it will fail anyway
+        return not (fhi < self._fence_lo or flo > self._fence_hi)
+
+    # ------------------------------------------------------------------
+    # Flush triggers
+    # ------------------------------------------------------------------
+
+    def _after_submit(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._gen += 1
+        self._n_pending += 1
+        if self._n_pending >= self.max_batch:
+            self._schedule_flush()
+            return
+        if self._timer is None and not self._flush_scheduled:
+            self._timer = loop.call_later(self.max_delay, self._timer_fired)
+        if self.eager_flush and not self._idle_armed:
+            self._idle_armed = True
+            loop.call_soon(self._idle_fired, self._gen)
+
+    def _timer_fired(self) -> None:
+        self._timer = None
+        if self._n_pending:
+            self._schedule_flush()
+
+    def _idle_fired(self, gen: int) -> None:
+        # Runs after every currently-runnable task had a chance to submit;
+        # if nothing new arrived since, producers are all suspended and
+        # waiting on us — flush now rather than in max_delay. At most one
+        # idle probe is in flight: it re-arms itself while submissions
+        # keep landing, so N concurrent producers cost ~2 probes per
+        # cycle, not N.
+        if gen != self._gen and self._n_pending:
+            self._loop.call_soon(self._idle_fired, self._gen)
+            return
+        self._idle_armed = False
+        if gen == self._gen and self._n_pending and not self._flush_scheduled:
+            self._schedule_flush()
+
+    def _schedule_flush(self) -> None:
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._get_loop().create_task(self._flush())
+
+    async def drain(self) -> None:
+        """Flush until nothing is pending (used by ``Server.close``)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        while self.pending:
+            await self._flush()
+        while self._solo_tasks:
+            await asyncio.gather(*list(self._solo_tasks))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _flush(self) -> None:
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        async with self._lock:
+            self._flush_scheduled = False
+            await self._dispatch_cycle()
+        # Requests that arrived mid-cycle scheduled their own flush (the
+        # flag was cleared above); this is only a belt-and-braces rearm.
+        if self.pending and not self._flush_scheduled and self._timer is None:
+            self._schedule_flush()
+
+    async def _dispatch_cycle(self) -> None:
+        gets, self._gets = self._gets, []
+        ranges, self._ranges = self._ranges, []
+        inserts, self._inserts = self._inserts, []
+        held_gets, self._held_gets = self._held_gets, []
+        held_ranges, self._held_ranges = self._held_ranges, []
+        self._n_pending = 0
+        self._fence_lo, self._fence_hi = math.inf, -math.inf
+        if not (gets or ranges or inserts or held_gets or held_ranges):
+            return
+        self._stats["flushes"] += 1
+        await self._dispatch_gets(gets)
+        await self._dispatch_ranges(ranges)
+        if inserts:
+            await self._dispatch_inserts(inserts)
+        # Read-your-writes: reads that overlapped the inserts go last.
+        await self._dispatch_gets(held_gets)
+        await self._dispatch_ranges(held_ranges)
+
+    async def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        if self._executor is None:
+            return fn(*args)
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def offload(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` the way a dispatch would.
+
+        Inline on the event loop when no executor is configured, else on
+        the dispatch executor — e.g. ``Server.warm`` offloads
+        ``engine.warm`` this way so a large snapshot build cannot stall
+        the loop.
+        """
+        return await self._run(fn, *args)
+
+    def _resolve(self, op: Tuple, kind: str, value: Any) -> None:
+        fut = op[2]
+        if not fut.done():
+            fut.set_result(value)
+        self._finish(op, kind)
+
+    def _reject(self, op: Tuple, kind: str, exc: BaseException) -> None:
+        fut = op[2]
+        if not fut.done():
+            fut.set_exception(exc)
+        self._finish(op, kind)
+
+    def _finish(self, op: Tuple, kind: str) -> None:
+        self._stats["ops"][kind] += 1
+        if self._observer is not None:
+            self._observer(kind, [self._clock() - op[3]])
+
+    def _note_batch(self, kind: str, size: int) -> None:
+        self._stats["batches"][kind] += 1
+        if size > self._stats["max_batch_observed"]:
+            self._stats["max_batch_observed"] = size
+
+    def _chunks(self, ops: List[Tuple]) -> List[List[Tuple]]:
+        if len(ops) <= self.max_batch:
+            return [ops] if ops else []
+        return [
+            ops[i : i + self.max_batch]
+            for i in range(0, len(ops), self.max_batch)
+        ]
+
+    def _fan_out(self, chunk: List[Tuple], kind: str, values) -> None:
+        """Resolve a whole chunk's futures and record stats in bulk.
+
+        ``values`` is indexable per op (array or list); the single
+        ``clock()`` here is accurate because batch-mates complete at the
+        same instant by construction.
+        """
+        now = self._clock()
+        observer = self._observer
+        latencies = [] if observer is not None else None
+        for op, value in zip(chunk, values):
+            fut = op[2]
+            if not fut.done():
+                fut.set_result(value)
+            if latencies is not None:
+                latencies.append(now - op[3])
+        self._stats["ops"][kind] += len(chunk)
+        if observer is not None:
+            observer(kind, latencies)
+
+    async def _dispatch_gets(self, ops: List[Tuple]) -> None:
+        engine = self.engine
+        for chunk in self._chunks(ops):
+            self._note_batch("get", len(chunk))
+            if len(chunk) == 1:
+                (key, default, _fut, _t0), = chunk
+                try:
+                    value = await self._run(engine.get, key, default)
+                except Exception as exc:
+                    self._reject(chunk[0], "get", exc)
+                else:
+                    self._resolve(chunk[0], "get", value)
+                continue
+            try:
+                q = np.asarray([op[0] for op in chunk], dtype=np.float64)
+                results = await self._run(engine.get_batch, q, _MISS)
+            except Exception:
+                self._stats["scalar_fallbacks"] += 1
+                outcomes = await self._run(
+                    _each, engine.get, [(op[0], op[1]) for op in chunk]
+                )
+                for op, (ok, res) in zip(chunk, outcomes):
+                    (self._resolve if ok else self._reject)(op, "get", res)
+                continue
+            if results.dtype == object:
+                defaults = [
+                    op[1] if value is _MISS else value
+                    for op, value in zip(chunk, results)
+                ]
+                self._fan_out(chunk, "get", defaults)
+            else:
+                self._fan_out(chunk, "get", results)
+
+    async def _dispatch_ranges(self, ops: List[Tuple]) -> None:
+        engine = self.engine
+        for chunk in self._chunks(ops):
+            self._note_batch("range", len(chunk))
+            try:
+                if len(chunk) == 1:
+                    (lo, hi, _fut, _t0), = chunk
+                    results = [await self._run(engine.range_arrays, lo, hi)]
+                else:
+                    bounds = np.asarray(
+                        [[op[0], op[1]] for op in chunk], dtype=np.float64
+                    )
+                    results = await self._run(engine.range_batch, bounds)
+            except Exception:
+                self._stats["scalar_fallbacks"] += 1
+                outcomes = await self._run(
+                    _each, engine.range_arrays, [(op[0], op[1]) for op in chunk]
+                )
+                for op, (ok, res) in zip(chunk, outcomes):
+                    (self._resolve if ok else self._reject)(op, "range", res)
+                continue
+            self._fan_out(chunk, "range", results)
+
+    async def _dispatch_inserts(self, ops: List[Tuple]) -> None:
+        engine = self.engine
+        for chunk in self._chunks(ops):
+            self._note_batch("insert", len(chunk))
+            keys = [op[0] for op in chunk]
+            values = [op[1] for op in chunk]
+            n_none = sum(1 for v in values if v is None)
+            pre = getattr(engine, "version", None)
+            exc: Optional[BaseException] = None
+            try:
+                if len(chunk) == 1:
+                    await self._run(engine.insert, keys[0], values[0])
+                elif 0 < n_none < len(values):
+                    # Mixed auto-rowid and explicit payloads cannot go
+                    # through one insert_batch call without changing what
+                    # the engine would store; apply per item instead.
+                    raise _MixedBatch()
+                elif n_none == len(values):
+                    await self._run(
+                        engine.insert_batch,
+                        np.asarray(keys, dtype=np.float64),
+                    )
+                else:
+                    await self._run(
+                        engine.insert_batch,
+                        np.asarray(keys, dtype=np.float64),
+                        values,
+                    )
+            except Exception as caught:
+                exc = caught
+            if exc is None:
+                self._fan_out(chunk, "insert", [None] * len(chunk))
+            elif pre is None or getattr(engine, "version", None) == pre:
+                # The engine provably applied nothing (version unchanged):
+                # safe to retry per item so one bad request cannot poison
+                # its batch-mates.
+                self._stats["scalar_fallbacks"] += 1
+                outcomes = await self._run(
+                    _each, engine.insert, list(zip(keys, values))
+                )
+                for op, (ok, res) in zip(chunk, outcomes):
+                    if ok:
+                        self._resolve(op, "insert", None)
+                    else:
+                        self._reject(op, "insert", res)
+            else:
+                # Partial application is possible; failing the whole chunk
+                # is the only answer that cannot double-insert.
+                for op in chunk:
+                    self._reject(op, "insert", exc)
+            version = getattr(engine, "version", None)
+            if version is not None:
+                self._stats["barrier_version"] = version
+
+
+class _MixedBatch(Exception):
+    """Internal: route a mixed None/explicit-value insert chunk to the
+    per-item path (never escapes :meth:`RequestBatcher._dispatch_inserts`)."""

@@ -1,0 +1,30 @@
+"""Exceptions raised by the asyncio serving front-end.
+
+Both derive from :class:`repro.core.errors.ReproError`, so callers that
+already catch the package-wide base class keep working; they additionally
+derive from ``RuntimeError`` because they describe the server's state, not
+bad parameters.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = ["ServerClosedError", "ServerOverloadedError"]
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """A request was submitted to a server that has been closed.
+
+    Requests already in flight when :meth:`repro.serve.Server.close` is
+    called still complete; only *new* submissions fail with this error.
+    """
+
+
+class ServerOverloadedError(ReproError, RuntimeError):
+    """Admission was refused because the pending-request queue is full.
+
+    Raised only in ``overload="reject"`` mode when the number of in-flight
+    requests has reached ``max_pending``; in the default ``"wait"`` mode the
+    caller is suspended until capacity frees up instead.
+    """

@@ -1,0 +1,288 @@
+"""The asyncio serving facade: admission control + batching + stats.
+
+:class:`Server` is what application code talks to. Each ``await
+server.get(key)`` looks like a scalar request, but behind the facade a
+:class:`~repro.serve.batcher.RequestBatcher` coalesces all concurrent
+requests into micro-batches for the engine's vectorized verbs — the
+difference between ~10us-per-op scalar Python descents and ~1us-per-op
+NumPy batch passes (``python -m repro.bench serve`` measures it).
+
+On top of the batcher the server adds:
+
+* **backpressure** — ``max_pending`` bounds the number of in-flight
+  requests; extra arrivals either wait (default) or are rejected with
+  :class:`~repro.serve.errors.ServerOverloadedError`;
+* **per-op latency/throughput stats** — end-to-end latency percentiles per
+  operation kind, see :meth:`Server.stats`;
+* **lifecycle** — ``async with Server(engine) as s:`` or an explicit
+  :meth:`close`, which drains pending requests (in-flight work completes,
+  new submissions raise :class:`~repro.serve.errors.ServerClosedError`);
+* **executor escape hatch** — ``executor="thread"`` moves every engine
+  dispatch onto a dedicated single worker thread so a large page merge or
+  combined-view rebuild cannot stall the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.serve.batcher import RequestBatcher
+from repro.serve.errors import ServerClosedError, ServerOverloadedError
+from repro.serve.stats import LatencySeries
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Async front-end over a batch engine (see module doc).
+
+    Parameters
+    ----------
+    engine:
+        The index being served — a :class:`~repro.engine.ShardedEngine`
+        (or any object with the same scalar + batch verbs).
+    max_batch, max_delay, eager_flush:
+        Batching knobs, passed to
+        :class:`~repro.serve.batcher.RequestBatcher`; ``max_batch=1``
+        degenerates to per-request scalar dispatch.
+    max_pending:
+        Backpressure bound on concurrently admitted requests (``None`` =
+        unbounded).
+    overload:
+        What a full queue does to a new request: ``"wait"`` (default)
+        suspends the caller until capacity frees, ``"reject"`` raises
+        :class:`ServerOverloadedError` immediately.
+    executor:
+        ``None`` (dispatch inline on the event loop), ``"thread"`` (the
+        server owns a single worker thread and shuts it down on close), or
+        a caller-supplied single-worker ``concurrent.futures.Executor``.
+    latency_window:
+        Samples retained per operation kind for the percentile stats;
+        ``0`` disables server-side latency sampling entirely (the
+        per-request clock reads disappear from the hot path — useful when
+        the traffic driver measures latency client-side, as the serve
+        benchmark does).
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        max_batch: int = 1024,
+        max_delay: float = 0.002,
+        eager_flush: bool = True,
+        max_pending: Optional[int] = None,
+        overload: str = "wait",
+        executor: Any = None,
+        latency_window: int = 100_000,
+    ) -> None:
+        if overload not in ("wait", "reject"):
+            raise InvalidParameterError(
+                f"overload must be 'wait' or 'reject', got {overload!r}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1 or None, got {max_pending}"
+            )
+        self.engine = engine
+        self._owns_executor = False
+        if executor == "thread":
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+            self._owns_executor = True
+        elif executor is not None and not isinstance(executor, Executor):
+            raise InvalidParameterError(
+                "executor must be None, 'thread', or a concurrent.futures "
+                f"Executor, got {executor!r}"
+            )
+        self._executor = executor
+        self._latency: Dict[str, LatencySeries] = {
+            kind: LatencySeries(max(latency_window, 1))
+            for kind in ("get", "range", "insert")
+        }
+        self._batcher = RequestBatcher(
+            engine,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            eager_flush=eager_flush,
+            executor=executor,
+            observer=self._observe if latency_window > 0 else None,
+        )
+        self._max_pending = max_pending
+        self._overload = overload
+        # Created lazily on first bounded admission: on Python 3.9 an
+        # asyncio.Semaphore built outside a running loop binds the wrong
+        # loop.
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._in_flight = 0
+        self._rejected = 0
+        self._closed = False
+        self._t_start = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    async def close(self) -> None:
+        """Drain pending requests and stop accepting new ones.
+
+        Idempotent. Requests already admitted complete normally (their
+        futures resolve during the drain); submissions after this call
+        raise :class:`ServerClosedError`. An owned ``"thread"`` executor
+        is shut down once the drain finishes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self._batcher.drain()
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "Server":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    async def _acquire(self) -> None:
+        # Slow path, taken only when admission is bounded (max_pending);
+        # the unbounded fast path is inlined in each operation to keep
+        # per-request overhead down.
+        if self._overload == "reject":
+            if self._in_flight >= self._max_pending:  # type: ignore[operator]
+                self._rejected += 1
+                raise ServerOverloadedError(
+                    f"{self._in_flight} requests in flight >= "
+                    f"max_pending={self._max_pending}"
+                )
+        else:
+            if self._sem is None:
+                self._sem = asyncio.Semaphore(self._max_pending)
+            await self._sem.acquire()
+            if self._closed:  # closed while we were queued
+                self._sem.release()
+                raise ServerClosedError("server is closed")
+
+    def _release(self) -> None:
+        self._in_flight -= 1
+        if self._sem is not None:
+            self._sem.release()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup: awaitable of the value under ``key`` (or
+        ``default``).
+
+        Results are identical to scalar ``engine.get(key, default)`` — the
+        batch dispatch is an execution strategy, not a semantic change.
+        Unbounded servers hand back the batcher's future directly (one
+        less coroutine frame on the hot path); bounded ones go through the
+        admission coroutine. Either way: ``value = await server.get(key)``.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if self._max_pending is None:
+            return self._batcher.submit_get(key, default)
+        return self._bounded(self._batcher.submit_get, key, default)
+
+    def range(self, lo: float, hi: float) -> Any:
+        """Range scan: awaitable of the ``(keys, values)`` arrays with
+        ``lo <= key <= hi``."""
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if self._max_pending is None:
+            return self._batcher.submit_range(lo, hi)
+        return self._bounded(self._batcher.submit_range, lo, hi)
+
+    def insert(self, key: float, value: Any = None) -> Any:
+        """Insert ``key -> value``: awaitable resolving once the write is
+        applied (auto row id when ``value`` is None on an auto-rowid
+        engine).
+
+        A subsequent ``get``/``range`` touching this key is guaranteed to
+        observe the write (read-your-writes, enforced by the batcher's
+        insert fence)."""
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if self._max_pending is None:
+            return self._batcher.submit_insert(key, value)
+        return self._bounded(self._batcher.submit_insert, key, value)
+
+    async def _bounded(self, submit: Any, *args: Any) -> Any:
+        """Admission-controlled submission (only built when ``max_pending``
+        is set)."""
+        await self._acquire()
+        self._in_flight += 1
+        try:
+            return await submit(*args)
+        finally:
+            self._release()
+
+    async def warm(self) -> None:
+        """Pre-build the engine's read-path snapshots before taking traffic.
+
+        Delegates to ``engine.warm()`` (a no-op for engines without one)
+        through the dispatch executor, so with ``executor="thread"`` the
+        event loop stays responsive while the flat views are assembled.
+        """
+        fn = getattr(self.engine, "warm", None)
+        if fn is not None:
+            await self._batcher.offload(fn)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def _observe(self, kind: str, latencies) -> None:
+        self._latency[kind].extend(latencies)
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving-layer statistics.
+
+        Returns
+        -------
+        dict
+            ``uptime_seconds``, completed request counts and end-to-end
+            latency percentiles per kind (``latency``), overall
+            ``throughput_ops_per_s``, admission counters (``in_flight``
+            counts bounded-admission requests; unbounded servers track
+            queue depth as ``batcher.pending``), ``rejected``, the
+            batcher's dispatch counters (``batcher``: flushes, batch
+            sizes, fallbacks, barrier holds), and the engine's current
+            ``engine_version`` stamp when the engine exposes one.
+        """
+        uptime = time.perf_counter() - self._t_start
+        # Batcher op counters cover every request even when latency
+        # sampling is disabled (latency_window=0).
+        completed = sum(self._batcher.stats()["ops"].values())
+        return {
+            "uptime_seconds": round(uptime, 3),
+            "completed": completed,
+            "throughput_ops_per_s": round(completed / uptime, 1) if uptime else 0.0,
+            "in_flight": self._in_flight,
+            "rejected": self._rejected,
+            "max_pending": self._max_pending,
+            "overload": self._overload,
+            "latency": {k: s.summary() for k, s in self._latency.items()},
+            "batcher": self._batcher.stats(),
+            "engine_version": getattr(self.engine, "version", None),
+        }

@@ -1,0 +1,77 @@
+"""Latency bookkeeping for the serving front-end.
+
+One :class:`LatencySeries` per operation kind records end-to-end request
+latencies (enqueue to fan-out, so queueing and batching delay are included)
+into a bounded window, and summarizes them as the percentiles a serving
+benchmark plots against throughput.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["LatencySeries"]
+
+#: Percentiles reported by :meth:`LatencySeries.summary`.
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class LatencySeries:
+    """Bounded sliding window of per-request latencies (seconds).
+
+    Parameters
+    ----------
+    window:
+        Maximum number of samples retained; older samples fall off so a
+        long-running server's summary reflects recent behaviour. The
+        lifetime request count is tracked separately and never truncated.
+    """
+
+    __slots__ = ("count", "_samples")
+
+    def __init__(self, window: int = 100_000) -> None:
+        self.count = 0
+        self._samples: deque = deque(maxlen=window)
+
+    def record(self, seconds: float) -> None:
+        """Add one request latency (in seconds) to the window."""
+        self.count += 1
+        self._samples.append(seconds)
+
+    def extend(self, latencies) -> None:
+        """Add a whole batch of latencies (one dispatch's fan-out)."""
+        self.count += len(latencies)
+        self._samples.extend(latencies)
+
+    def summary(self) -> Dict[str, Any]:
+        """Summarize the window as microsecond percentiles.
+
+        Returns
+        -------
+        dict
+            ``count`` (lifetime requests), ``window`` (samples summarized),
+            ``mean_us``, ``p50_us``, ``p95_us``, ``p99_us`` and ``max_us``;
+            the latency fields are 0.0 when no samples were recorded.
+        """
+        out: Dict[str, Any] = {"count": self.count, "window": len(self._samples)}
+        if not self._samples:
+            out.update(
+                {"mean_us": 0.0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0,
+                 "max_us": 0.0}
+            )
+            return out
+        arr = np.asarray(self._samples, dtype=np.float64) * 1e6
+        p50, p95, p99 = np.percentile(arr, _PERCENTILES)
+        out.update(
+            {
+                "mean_us": round(float(arr.mean()), 2),
+                "p50_us": round(float(p50), 2),
+                "p95_us": round(float(p95), 2),
+                "p99_us": round(float(p99), 2),
+                "max_us": round(float(arr.max()), 2),
+            }
+        )
+        return out

@@ -1,5 +1,16 @@
-"""Workload generation and execution for the evaluation harness."""
+"""Workload generation and execution for the evaluation harness.
 
+Three families: seeded stream generators (:mod:`~repro.workloads.generators`),
+the synchronous scalar/batched runners (:mod:`~repro.workloads.runner`), and
+async closed-/open-loop traffic drivers for the serving layer
+(:mod:`~repro.workloads.async_traffic`).
+"""
+
+from repro.workloads.async_traffic import (
+    TrafficResult,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.workloads.generators import (
     insert_stream,
     missing_lookups,
@@ -16,13 +27,16 @@ from repro.workloads.runner import (
 )
 
 __all__ = [
+    "TrafficResult",
     "WorkloadResult",
     "insert_stream",
     "missing_lookups",
     "mixed_lookups",
     "run_batch_lookups",
+    "run_closed_loop",
     "run_inserts",
     "run_lookups",
+    "run_open_loop",
     "run_range_scans",
     "uniform_lookups",
     "zipf_lookups",

@@ -1,0 +1,196 @@
+"""Async traffic generators driving the serving front-end.
+
+Two canonical load models from the serving-systems literature:
+
+* **closed-loop** (:func:`run_closed_loop`) — N clients, each with at most
+  one request outstanding: a client awaits its response before issuing the
+  next request. Throughput is concurrency-limited; this is the model that
+  shows what micro-batching buys (with N blocked clients the batcher sees
+  batches of exactly N).
+* **open-loop** (:func:`run_open_loop`) — requests arrive on a Poisson
+  process at a configured rate, independent of completions. Latency here
+  includes *queueing delay* (measured from the scheduled arrival time), so
+  driving the rate past capacity shows the hockey-stick the closed loop
+  hides.
+
+Both return a :class:`TrafficResult` carrying per-request latencies, the
+responses in request order (so callers can check bit-identical equivalence
+against the scalar path), and throughput; both are plain coroutines, run
+them with ``asyncio.run(...)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["TrafficResult", "run_closed_loop", "run_open_loop"]
+
+
+@dataclass
+class TrafficResult:
+    """Outcome of one async traffic run.
+
+    ``latencies_s`` and ``results`` are aligned with the input key stream
+    (request order), regardless of completion order; ``errors`` counts
+    requests that raised instead of returning.
+    """
+
+    ops: int
+    wall_seconds: float
+    latencies_s: np.ndarray
+    results: List[Any] = field(default_factory=list)
+    errors: int = 0
+
+    @property
+    def ops_per_second(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def percentile_us(self, q: float) -> float:
+        """The ``q``-th percentile of request latency, in microseconds."""
+        if self.latencies_s.size == 0:
+            return 0.0
+        return float(np.percentile(self.latencies_s, q) * 1e6)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of throughput + latency percentiles for reporting."""
+        return {
+            "ops": self.ops,
+            "ops_per_second": round(self.ops_per_second, 1),
+            "p50_us": round(self.percentile_us(50), 2),
+            "p95_us": round(self.percentile_us(95), 2),
+            "p99_us": round(self.percentile_us(99), 2),
+            "errors": self.errors,
+        }
+
+
+async def run_closed_loop(
+    server: Any,
+    keys,
+    concurrency: int = 16,
+) -> TrafficResult:
+    """Drive ``server.get`` with N closed-loop clients.
+
+    Parameters
+    ----------
+    server:
+        Anything with ``async get(key)`` — a :class:`repro.serve.Server`.
+    keys:
+        The request stream; client ``i`` issues keys ``i, i+N, i+2N, ...``
+        back-to-back (one outstanding request per client).
+    concurrency:
+        Number of concurrent clients (N above).
+
+    Returns
+    -------
+    TrafficResult
+        Latencies measured around each individual ``await`` and the
+        responses aligned with ``keys``.
+    """
+    keys_list = [float(k) for k in np.asarray(keys, dtype=np.float64)]
+    n = len(keys_list)
+    if n == 0:
+        raise InvalidParameterError("empty key stream")
+    if concurrency < 1:
+        raise InvalidParameterError(
+            f"concurrency must be >= 1, got {concurrency}"
+        )
+    latencies: List[float] = [0.0] * n
+    results: List[Any] = [None] * n
+    errors = 0
+    clock = time.perf_counter
+
+    async def client(offset: int) -> None:
+        nonlocal errors
+        get = server.get
+        for i in range(offset, n, concurrency):
+            t0 = clock()
+            try:
+                results[i] = await get(keys_list[i])
+            except Exception as exc:  # keep the run going; report at the end
+                results[i] = exc
+                errors += 1
+            latencies[i] = clock() - t0
+
+    start = clock()
+    await asyncio.gather(*(client(c) for c in range(min(concurrency, n))))
+    wall = clock() - start
+    return TrafficResult(
+        ops=n, wall_seconds=wall,
+        latencies_s=np.asarray(latencies, dtype=np.float64),
+        results=results, errors=errors,
+    )
+
+
+async def run_open_loop(
+    server: Any,
+    keys,
+    rate: float,
+    seed: int = 0,
+) -> TrafficResult:
+    """Drive ``server.get`` with Poisson arrivals at ``rate`` requests/s.
+
+    Each request is its own task released at its scheduled arrival time;
+    latency is measured *from that scheduled time*, so a server that
+    cannot keep up shows its queueing delay instead of silently throttling
+    the generator (the open-loop property).
+
+    Parameters
+    ----------
+    server:
+        Anything with ``async get(key)``.
+    keys:
+        The request stream, one request per key, in arrival order.
+    rate:
+        Mean arrival rate in requests per second (Poisson process).
+    seed:
+        Seed for the exponential inter-arrival draws.
+
+    Returns
+    -------
+    TrafficResult
+        ``wall_seconds`` spans first arrival to last completion; latencies
+        include time spent waiting for admission under backpressure.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.float64)
+    n = keys.size
+    if n == 0:
+        raise InvalidParameterError("empty key stream")
+    if rate <= 0:
+        raise InvalidParameterError(f"rate must be > 0, got {rate}")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    latencies = np.zeros(n, dtype=np.float64)
+    results: List[Any] = [None] * n
+    errors = 0
+    clock = time.perf_counter
+
+    start = clock()
+
+    async def one(i: int) -> None:
+        nonlocal errors
+        delay = arrivals[i] - (clock() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        t0 = clock()
+        try:
+            results[i] = await server.get(keys[i])
+        except Exception as exc:
+            results[i] = exc
+            errors += 1
+        # From scheduled arrival, not dispatch: queueing delay included.
+        latencies[i] = clock() - start - arrivals[i]
+
+    await asyncio.gather(*(one(i) for i in range(n)))
+    wall = clock() - start
+    return TrafficResult(
+        ops=n, wall_seconds=wall, latencies_s=latencies, results=results,
+        errors=errors,
+    )

@@ -1,0 +1,58 @@
+"""The docstring style gate passes (same check CI runs as its own step).
+
+Keeping it in the suite means a local ``pytest`` run catches a docstring
+regression before CI does, and pins the checker's own behaviour.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO / "tools" / "check_docstyle.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docstyle", CHECKER)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["check_docstyle"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_target_api_passes_docstyle(capsys):
+    mod = load_checker()
+    assert mod.main() == 0, capsys.readouterr().out
+
+
+def test_checker_flags_missing_docstring(tmp_path):
+    mod = load_checker()
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Module doc."""\n\n\ndef public_fn():\n    return 1\n'
+    )
+    violations = mod.check_file(bad)
+    assert any("missing docstring" in msg for _, _, msg in violations)
+
+
+def test_checker_flags_missing_sections(tmp_path):
+    mod = load_checker()
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        '"""Module doc."""\n\n\n'
+        "def get_batch(queries):\n"
+        '    """Do lookups without the required sections."""\n'
+        "    return queries\n"
+    )
+    violations = mod.check_file(bad)
+    assert any("'Parameters' section" in msg for _, _, msg in violations)
+    assert any("'Returns' section" in msg for _, _, msg in violations)
+
+
+def test_every_target_file_is_parseable_and_checked():
+    mod = load_checker()
+    files = list(mod.iter_target_files())
+    assert len(files) >= 8  # engine (4) + serve (5) + paged_index
+    for path in files:
+        ast.parse(path.read_text())

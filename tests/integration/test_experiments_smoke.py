@@ -39,6 +39,7 @@ def test_experiment_registry_complete():
         "abl_cone",
         "abl_branching",
         "engine",
+        "serve",
     }
 
 
@@ -165,6 +166,27 @@ def test_engine_insert_params_respected(tmp_path):
     assert payload["params"]["n_inserts"] == 750
     assert payload["params"]["insert_buffer"] == 32
     assert any("insert-batch" == r["mode"] for r in payload["rows"])
+
+
+def test_serve(tmp_path):
+    out = tmp_path / "BENCH_serve.json"
+    result = rows_of(
+        "serve", n=4_000, n_requests=800, concurrencies=(8, 16),
+        repeats=1, open_loop_rate=20_000.0, out=str(out),
+    )
+    closed = [r for r in result.rows if r["load"] == "closed-loop"]
+    assert {r["mode"] for r in closed} == {"scalar-await", "batched"}
+    assert {r["concurrency"] for r in closed} == {8, 16}
+    open_rows = [r for r in result.rows if r["load"].startswith("open-loop")]
+    assert len(open_rows) == 2
+    payload = json.loads(out.read_text())
+    assert payload["experiment"] == "serve"
+    assert payload["params"]["repeats"] == 1
+    for row in payload["rows"]:
+        assert row["ops_per_second"] > 0
+        assert row["p99_us"] >= row["p50_us"]
+    # Results are checked bit-identical inside the experiment itself; at
+    # toy sizes we only pin the report shape, not the speedup.
 
 
 def test_abl_cone():

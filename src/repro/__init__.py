@@ -23,8 +23,9 @@ shards (one FITing-Tree each) and answers whole query batches through
 flattened NumPy views of the segments — one ``searchsorted`` routing pass,
 vectorized interpolation, and a vectorized bounded window probe replace
 per-key tree descents (``get_batch`` / ``range_batch`` / ``insert_batch``).
-It is the foundation for the roadmap's async serving, multi-process shards
-and segment-cache directions.
+:mod:`repro.cluster` moves each shard into its own worker process behind
+the same API (``ClusterEngine``), and :mod:`repro.serve` puts an asyncio
+micro-batching front-end over either engine.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -48,6 +49,7 @@ from repro.core import (
     shrinking_cone,
     verify_segments,
 )
+from repro.cluster import ClusterEngine, ClusterError
 from repro.engine import FlatView, ShardedEngine
 from repro.memsim import AccessCounter, CacheSim, LatencyModel
 
@@ -58,6 +60,8 @@ __all__ = [
     "BPlusTree",
     "BinarySearchIndex",
     "CacheSim",
+    "ClusterEngine",
+    "ClusterError",
     "CostModel",
     "CostModelParams",
     "FITingTree",

@@ -86,6 +86,16 @@ class FixedPageIndex(PagedIndexBase):
                 )
         return pages
 
+    def _snapshot_params(self) -> Dict[str, Any]:
+        """Constructor kwargs reproducing this index's configuration
+        (see :meth:`repro.core.paged_index.PagedIndexBase.to_state`)."""
+        return {
+            "page_size": self.page_size,
+            "buffer_capacity": self.buffer_capacity,
+            "branching": self._tree.branching,
+            "fill": self._fill,
+        }
+
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out.update(page_size=self.page_size)

@@ -18,6 +18,7 @@ from repro.bench import exp_fig11 as _exp_fig11  # noqa: F401
 from repro.bench import exp_fig12 as _exp_fig12  # noqa: F401
 from repro.bench import exp_fig13 as _exp_fig13  # noqa: F401
 from repro.bench import exp_cachesim as _exp_cachesim  # noqa: F401
+from repro.bench import exp_cluster as _exp_cluster  # noqa: F401
 from repro.bench import exp_engine as _exp_engine  # noqa: F401
 from repro.bench import exp_misc as _exp_misc  # noqa: F401
 from repro.bench import exp_serve as _exp_serve  # noqa: F401

@@ -1,0 +1,272 @@
+"""Cluster experiment: in-process vs multi-process shard dispatch.
+
+Beyond the paper: measures what :mod:`repro.cluster` buys when the GIL is
+the ceiling. The same workloads run against the same shard states through
+two dispatch strategies:
+
+* ``inproc`` — the :class:`~repro.engine.ShardedEngine`: every shard's
+  vectorized work executes on one interpreter (one core, however many
+  shards);
+* ``cluster`` — a :class:`~repro.cluster.ClusterEngine` promoted from
+  that very engine (``from_engine`` snapshots the shards, so both sides
+  start bit-identical): each shard computes in its own worker process,
+  batch keys and results crossing via shared-memory lanes.
+
+Three workloads per worker count (1/2/4 by default):
+
+* ``uniform-read`` — uniformly sampled present keys, the headline
+  aggregate read-batch throughput;
+* ``skewed-read`` — Zipf-sampled keys (hot ranks scattered over the key
+  space), so per-shard sub-batch sizes are unbalanced;
+* ``mixed`` — alternating insert chunks and read batches (~1:8 write:read
+  by volume) against writable configs, exercising the insert fence.
+
+Every read batch is verified **bit-identical** between the two modes
+before any number is reported, and the mixed workload additionally
+verifies post-write reads (read-your-writes across the process hop).
+
+Interpretation: cluster dispatch pays a fixed per-batch IPC cost
+(~control frame + two lane memcpys per worker) to unlock one core per
+shard. It wins when per-batch compute dominates — large batches over
+large shards on a multi-core box — and loses on small batches or a
+single-core box. ``params.cpu_count`` records what the measurement
+machine offered; the ROADMAP's >= 2x-at-4-workers bar is only meaningful
+with >= 4 physical cores. Results are emitted to ``BENCH_cluster.json``
+so the trajectory accumulates across PRs next to ``BENCH_engine.json``
+and ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, register_experiment
+from repro.cluster import ClusterEngine
+from repro.datasets import get
+from repro.engine import ShardedEngine
+from repro.workloads import uniform_lookups, zipf_lookups
+
+
+def _assert_identical(a: np.ndarray, b: np.ndarray, context: str) -> None:
+    if a.dtype != b.dtype or len(a) != len(b) or not all(
+        x == y or (x is y) for x, y in zip(a, b)
+    ):
+        raise AssertionError(f"cluster diverged from in-process engine: {context}")
+
+
+def _time_reads(engine: Any, queries: np.ndarray, batch_size: int) -> float:
+    """Seconds to answer the whole query stream in ``batch_size`` chunks."""
+    start = time.perf_counter()
+    for i in range(0, len(queries), batch_size):
+        engine.get_batch(queries[i : i + batch_size])
+    return time.perf_counter() - start
+
+
+def _run_read_workload(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    n_workers: int,
+    error: float,
+    batch_size: int,
+    repeats: int,
+) -> Dict[str, float]:
+    """Best-of-``repeats`` read throughput for both modes, verified equal."""
+    inproc = ShardedEngine(keys, n_shards=n_workers, error=error, buffer_capacity=0)
+    inproc.warm()
+    cluster = ClusterEngine.from_engine(inproc)
+    try:
+        cluster.warm()
+        # Verification pass before any timing: EVERY batch of the stream
+        # must be bit-identical between the two modes — the `identical`
+        # field in the artifact asserts exactly this.
+        for i in range(0, len(queries), batch_size):
+            batch = queries[i : i + batch_size]
+            _assert_identical(
+                inproc.get_batch(batch),
+                cluster.get_batch(batch),
+                f"read batch @{i}",
+            )
+        inproc_s = min(_time_reads(inproc, queries, batch_size) for _ in range(repeats))
+        cluster_s = min(
+            _time_reads(cluster, queries, batch_size) for _ in range(repeats)
+        )
+    finally:
+        cluster.close()
+    return {"inproc": inproc_s, "cluster": cluster_s}
+
+
+def _run_mixed_workload(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    n_workers: int,
+    error: float,
+    batch_size: int,
+    seed: int,
+) -> Dict[str, float]:
+    """Interleaved insert/read rounds on both modes; every per-round read
+    verified bit-identical in an untimed lock-step pass first."""
+    insert_error = max(error * 8, 512.0)
+    buffer = int(insert_error) // 2
+    rng = np.random.default_rng(seed)
+    n_rounds = max(1, len(queries) // batch_size)
+    insert_chunks = [
+        rng.uniform(keys[0], keys[-1], max(1, batch_size // 8))
+        for _ in range(n_rounds)
+    ]
+    # Lock-step verification pass (untimed): both engines walk the same
+    # insert/read interleaving and EVERY per-round read — including the
+    # reads that land right after each write fence — must be
+    # bit-identical before any timing is recorded.
+    verify_inproc = ShardedEngine(
+        keys, n_shards=n_workers, error=insert_error, buffer_capacity=buffer
+    )
+    verify_cluster = ClusterEngine.from_engine(verify_inproc)
+    try:
+        for r in range(n_rounds):
+            verify_inproc.insert_batch(insert_chunks[r])
+            verify_cluster.insert_batch(insert_chunks[r])
+            batch = queries[r * batch_size : (r + 1) * batch_size]
+            _assert_identical(
+                verify_inproc.get_batch(batch),
+                verify_cluster.get_batch(batch),
+                f"mixed round {r}",
+            )
+    finally:
+        verify_cluster.close()
+
+    timings: Dict[str, float] = {}
+    for mode in ("inproc", "cluster"):
+        engine: Any = ShardedEngine(
+            keys, n_shards=n_workers, error=insert_error, buffer_capacity=buffer
+        )
+        if mode == "cluster":
+            engine = ClusterEngine.from_engine(engine)
+        try:
+            engine.warm()
+            start = time.perf_counter()
+            for r in range(n_rounds):
+                engine.insert_batch(insert_chunks[r])
+                engine.get_batch(queries[r * batch_size : (r + 1) * batch_size])
+            timings[mode] = time.perf_counter() - start
+        finally:
+            if mode == "cluster":
+                engine.close()
+    ops = n_rounds * (batch_size + max(1, batch_size // 8))
+    return dict(timings) | {"ops": float(ops)}
+
+
+@register_experiment("cluster")
+def cluster(
+    n: int = 1_000_000,
+    seed: int = 0,
+    n_queries: Optional[int] = None,
+    batch_size: int = 131_072,
+    workers: Sequence[int] = (1, 2, 4),
+    error: float = 64.0,
+    repeats: int = 5,
+    dataset: str = "uniform",
+    out: Optional[str] = "BENCH_cluster.json",
+) -> ExperimentResult:
+    """Aggregate batch throughput: ShardedEngine vs ClusterEngine."""
+    if n_queries is None:
+        n_queries = min(n, 4 * batch_size)
+    batch_size = min(batch_size, n_queries)
+    keys = get(dataset, n=n, seed=seed)
+    streams = {
+        "uniform-read": uniform_lookups(keys, n_queries, seed=seed + 1),
+        "skewed-read": zipf_lookups(keys, n_queries, seed=seed + 2),
+    }
+    cpu_count = os.cpu_count() or 1
+
+    rows: List[Dict[str, Any]] = []
+    notes: List[str] = []
+    bench_rows: List[Dict[str, Any]] = []
+    headline: Dict[int, float] = {}
+    for w in workers:
+        for workload, stream in streams.items():
+            t = _run_read_workload(keys, stream, w, error, batch_size, repeats)
+            speedup = t["inproc"] / t["cluster"] if t["cluster"] else 0.0
+            if workload == "uniform-read":
+                headline[w] = speedup
+            for mode in ("inproc", "cluster"):
+                seconds = t[mode]
+                row = {
+                    "workload": workload,
+                    "workers": w,
+                    "mode": mode,
+                    "ops_per_second": round(len(stream) / seconds, 0),
+                    "wall_ns_per_op": round(seconds * 1e9 / len(stream), 1),
+                    "speedup_vs_inproc": (
+                        1.0 if mode == "inproc" else round(speedup, 2)
+                    ),
+                    "identical": True,
+                }
+                rows.append(row)
+                bench_rows.append(dict(row))
+        mixed = _run_mixed_workload(keys, streams["uniform-read"], w, error,
+                                    batch_size, seed + 3)
+        ops = mixed.pop("ops")
+        mixed_speedup = mixed["inproc"] / mixed["cluster"] if mixed["cluster"] else 0.0
+        for mode in ("inproc", "cluster"):
+            row = {
+                "workload": "mixed",
+                "workers": w,
+                "mode": mode,
+                "ops_per_second": round(ops / mixed[mode], 0),
+                "wall_ns_per_op": round(mixed[mode] * 1e9 / ops, 1),
+                "speedup_vs_inproc": (
+                    1.0 if mode == "inproc" else round(mixed_speedup, 2)
+                ),
+                "identical": True,
+            }
+            rows.append(row)
+            bench_rows.append(dict(row))
+        notes.append(
+            f"{w} worker(s): cluster {headline[w]:.2f}x on uniform reads, "
+            f"{mixed_speedup:.2f}x on mixed read/insert (all results "
+            f"bit-identical to in-process)"
+        )
+
+    best_w = max(headline, key=lambda w: headline[w])
+    note = (
+        f"headline: {headline[best_w]:.2f}x aggregate read-batch throughput "
+        f"at {best_w} workers on {cpu_count} CPU core(s)"
+    )
+    if headline[best_w] < 2.0:
+        note += (
+            "; the >= 2x bar needs real multi-core parallelism to buy the "
+            "IPC cost back (cpu_count above is what this box offered)"
+        )
+    notes.append(note)
+
+    params: Dict[str, Any] = {
+        "n": n,
+        "n_queries": n_queries,
+        "batch_size": batch_size,
+        "workers": list(workers),
+        "error": error,
+        "repeats": repeats,
+        "dataset": dataset,
+        "seed": seed,
+        "cpu_count": cpu_count,
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(
+                {"experiment": "cluster", "params": params, "rows": bench_rows},
+                fh,
+                indent=2,
+            )
+        notes.append(f"wrote {out}")
+    return ExperimentResult(
+        name="cluster",
+        title="Shard dispatch: in-process (GIL-bound) vs multi-process",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

@@ -1,0 +1,53 @@
+"""Multi-process shard executors with a shared-memory batch protocol.
+
+Layer 2.5 of the stack: the in-process :class:`~repro.engine.ShardedEngine`
+is GIL-bound — every shard's vectorized work serializes on one core — so
+this package moves each range shard into its own worker process while
+keeping the exact engine API, letting the serving stack scale with the
+machine:
+
+* :mod:`~repro.cluster.snapshot` — ship a shard: class-dispatching
+  rebuild of :meth:`~repro.core.paged_index.PagedIndexBase.to_state`
+  snapshots (no re-segmentation), plus whole-engine snapshot extraction;
+* :mod:`~repro.cluster.shm` — the zero-copy transport: named
+  shared-memory lanes batch keys and numeric results cross process
+  boundaries through (pickle fallback for object payloads);
+* :mod:`~repro.cluster.worker` — the per-shard worker loop dispatching
+  the engine's vectorized batch verbs with per-batch fences;
+* :mod:`~repro.cluster.engine` — :class:`ClusterEngine`, the parent-side
+  facade with the full :class:`~repro.engine.ShardedEngine` surface
+  (``get_batch`` / ``range_batch`` / ``insert_batch`` / ``stats`` /
+  ``warm`` / ``version`` + scalar mirrors), so
+  :class:`repro.serve.Server` runs over it unchanged;
+* :mod:`~repro.cluster.errors` — :class:`ClusterError` /
+  :class:`WorkerCrashedError`, the typed transport failures.
+
+Quickstart::
+
+    engine = ClusterEngine(keys, n_shards=4, error=128)
+    values = engine.get_batch(queries)      # computed on 4 cores
+    engine.close()                          # or use it as a context manager
+
+``python -m repro.bench cluster`` benchmarks in-process vs cluster
+dispatch at 1/2/4 workers and writes ``BENCH_cluster.json``.
+"""
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.errors import ClusterError, WorkerCrashedError
+from repro.cluster.shm import ShmLane, attach_lane
+from repro.cluster.snapshot import (
+    engine_to_states,
+    index_from_state,
+    register_index_class,
+)
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterError",
+    "ShmLane",
+    "WorkerCrashedError",
+    "attach_lane",
+    "engine_to_states",
+    "index_from_state",
+    "register_index_class",
+]

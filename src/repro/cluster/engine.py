@@ -1,0 +1,964 @@
+"""ClusterEngine: the ShardedEngine API over multi-process shard workers.
+
+The in-process :class:`~repro.engine.ShardedEngine` is bound by the GIL:
+every shard's ``searchsorted``/merge work serializes on one core. The
+cluster engine keeps the exact same surface — ``get_batch`` /
+``range_batch`` / ``insert_batch`` / ``stats`` / ``warm`` / ``version``
+plus the scalar mirrors, so :class:`repro.serve.Server` works over it
+unchanged — but each range shard lives in its own worker process
+(:mod:`repro.cluster.worker`), rebuilt from a
+:meth:`~repro.core.paged_index.PagedIndexBase.to_state` snapshot without
+re-segmentation. Batch keys and numeric results cross the process boundary
+through shared-memory lanes (:mod:`repro.cluster.shm`); the pipes carry
+only small control frames.
+
+Consistency across the process hop:
+
+* **Per-batch fences** — every dispatch is a strict request/reply round:
+  ``insert_batch`` does not return until every owning worker has applied
+  its chunk, so a read submitted after an insert returns sees the write
+  (read-your-writes, the same guarantee the serve batcher builds on).
+* **Version barrier** — every worker reply carries its shard's monotonic
+  ``version`` stamp; the engine-wide :attr:`ClusterEngine.version` (their
+  sum) therefore moves exactly as the in-process engine's would.
+* **Bit-identical results** — workers answer through the same
+  ``FlatView`` read path and ``insert_batch`` write path the in-process
+  engine uses, so results and post-write state match ``ShardedEngine``
+  exactly (pinned by ``tests/cluster``).
+
+Failure model: a worker that exits or stops responding surfaces as a typed
+:class:`~repro.cluster.errors.ClusterError`
+(:class:`~repro.cluster.errors.WorkerCrashedError` names the shard);
+errors *inside* a live worker — invalid parameters and friends — are
+pickled back and re-raised as themselves. :meth:`close` shuts workers
+down cleanly (shutdown frame, join, terminate stragglers) and releases
+every shared-memory block.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.errors import ClusterError, WorkerCrashedError
+from repro.cluster.shm import DEFAULT_LANE_CAPACITY, ShmLane
+from repro.cluster.snapshot import engine_to_states
+from repro.cluster.worker import shard_worker_main
+from repro.core.errors import InvalidParameterError
+from repro.core.page import aligned_value_array
+from repro.core.serialize import _registry
+from repro.engine.engine import ShardedEngine
+from repro.engine.partition import route, shard_bounds
+
+__all__ = ["ClusterEngine"]
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one shard worker."""
+
+    __slots__ = ("process", "conn", "req", "resp", "lock", "lo", "hi", "ipc")
+
+    def __init__(self, process, conn, req: ShmLane, resp: ShmLane, lo, hi):
+        self.process = process
+        self.conn = conn
+        self.req = req
+        self.resp = resp
+        self.lock = threading.Lock()
+        self.lo = lo
+        self.hi = hi
+        #: Transport counters; only ever mutated under ``lock``, so
+        #: concurrent shard-dispatch threads cannot lose increments
+        #: (engine stats sum across workers).
+        self.ipc = {"batches": 0, "pickle_fallbacks": 0, "lane_growths": 0}
+
+
+class ClusterEngine:
+    """Multi-process shard executors behind the ShardedEngine API.
+
+    Parameters
+    ----------
+    keys, values, n_shards, error, buffer_capacity, index_kwargs:
+        As for :class:`~repro.engine.ShardedEngine`; the build happens
+        in-process first (segmentation runs once), each shard is
+        snapshotted into its worker, and the in-process copy is dropped.
+        One worker per effective shard.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/ a
+        context object). Default: ``"fork"`` where available (cheap
+        worker startup), else ``"spawn"``.
+    lane_capacity:
+        Initial bytes per shared-memory lane (two per worker); lanes
+        grow geometrically on demand.
+    op_timeout:
+        Seconds to wait for a worker's reply before declaring it hung
+        (raises :class:`~repro.cluster.errors.ClusterError`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> keys = np.sort(np.random.default_rng(0).uniform(0, 1e6, 100_000))
+    >>> with ClusterEngine(keys, n_shards=2, error=128) as engine:
+    ...     bool((engine.get_batch(keys[:512]) == np.arange(512)).all())
+    True
+    """
+
+    #: Per-shard reads are safe to issue from concurrent threads (each
+    #: worker has its own pipe, lanes and lock) — the serve layer's
+    #: shard-dispatch path keys off this.
+    shard_dispatch_safe = True
+
+    def __init__(
+        self,
+        keys=None,
+        values=None,
+        *,
+        n_shards: int = 4,
+        error: float = 64.0,
+        buffer_capacity: Optional[int] = None,
+        mp_context: Any = None,
+        lane_capacity: int = DEFAULT_LANE_CAPACITY,
+        op_timeout: float = 120.0,
+        **index_kwargs: Any,
+    ) -> None:
+        proto = ShardedEngine(
+            keys,
+            values,
+            n_shards=n_shards,
+            error=error,
+            buffer_capacity=buffer_capacity,
+            **index_kwargs,
+        )
+        self._boot(
+            engine_to_states(proto),
+            mp_context=mp_context,
+            lane_capacity=lane_capacity,
+            op_timeout=op_timeout,
+        )
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: ShardedEngine,
+        *,
+        mp_context: Any = None,
+        lane_capacity: int = DEFAULT_LANE_CAPACITY,
+        op_timeout: float = 120.0,
+    ) -> "ClusterEngine":
+        """Promote a live in-process engine to a multi-process cluster.
+
+        The source engine is snapshotted, not adopted: it stays fully
+        usable, and the two evolve independently afterwards.
+
+        Parameters
+        ----------
+        engine:
+            The :class:`~repro.engine.ShardedEngine` to snapshot.
+        mp_context, lane_capacity, op_timeout:
+            As for the constructor.
+
+        Returns
+        -------
+        ClusterEngine
+            A cluster whose workers hold bit-identical shard states.
+        """
+        obj = cls.__new__(cls)
+        obj._boot(
+            engine_to_states(engine),
+            mp_context=mp_context,
+            lane_capacity=lane_capacity,
+            op_timeout=op_timeout,
+        )
+        return obj
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _boot(self, states: Dict[str, Any], *, mp_context, lane_capacity,
+              op_timeout) -> None:
+        if isinstance(mp_context, str) or mp_context is None:
+            method = mp_context or (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+            ctx = mp.get_context(method)
+        else:
+            ctx = mp_context
+        self.cuts: np.ndarray = states["cuts"]
+        self._auto_rowid: bool = states["auto_rowid"]
+        self._next_rowid: int = states["next_rowid"]
+        shard_states = states["shards"]
+        self._values_dtype = (
+            np.dtype(shard_states[0]["values_dtype"])
+            if shard_states
+            else np.dtype(np.int64)
+        )
+        self._n = sum(int(s["n"]) for s in shard_states)
+        self._op_timeout = float(op_timeout)
+        self._closed = False
+        #: Shards whose reply stream can no longer be trusted (a timed-out
+        #: round may deliver its reply later); permanently fenced off.
+        self._poisoned: set = set()
+        self._versions: List[int] = [int(s["version"]) for s in shard_states]
+        self._workers: List[_WorkerHandle] = []
+        cuts = self.cuts
+        try:
+            for sid, state in enumerate(shard_states):
+                lo = float(cuts[sid - 1]) if sid > 0 else None
+                hi = float(cuts[sid]) if sid < cuts.size else None
+                parent_conn, child_conn = ctx.Pipe()
+                req = ShmLane(lane_capacity)
+                resp = ShmLane(lane_capacity)
+                # Resolve the shard's class here and ship it with the
+                # snapshot: a spawn-context child re-imports with a fresh
+                # registry, so parent-side register_index_class calls
+                # would otherwise be invisible to it.
+                index_cls = _registry().get(state["index_cls"])
+                process = ctx.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, state, sid, lo, hi, index_cls),
+                    daemon=True,
+                    name=f"repro-shard-{sid}",
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(
+                    _WorkerHandle(process, parent_conn, req, resp, lo, hi)
+                )
+            for sid, worker in enumerate(self._workers):
+                reply = self._recv(sid)
+                if reply[0] != "ready":
+                    raise ClusterError(
+                        f"shard {sid} worker failed to start: {reply!r}"
+                    )
+                self._versions[sid] = int(reply[1])
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down and release all IPC resources.
+
+        Sends each worker a shutdown frame, joins it for up to
+        ``timeout`` seconds, terminates stragglers, then closes pipes and
+        closes+unlinks the shared-memory lanes. Idempotent; the engine is
+        unusable afterwards (operations raise
+        :class:`~repro.cluster.errors.ClusterError`).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            process = worker.process
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - hung worker path
+                process.terminate()
+                process.join(timeout)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            worker.req.close()
+            worker.resp.close()
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError("engine is closed")
+
+    def _crash(self, sid: int, detail: str = "") -> WorkerCrashedError:
+        process = self._workers[sid].process
+        return WorkerCrashedError(sid, process.exitcode, detail)
+
+    def _send(self, sid: int, frame: Tuple) -> None:
+        if sid in self._poisoned:
+            raise ClusterError(
+                f"shard {sid} worker is in an unknown state after an "
+                "earlier timeout; the request/reply protocol cannot resync"
+            )
+        try:
+            self._workers[sid].conn.send(frame)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise self._crash(sid, str(exc)) from exc
+
+    def _recv(self, sid: int) -> Tuple:
+        if sid in self._poisoned:
+            raise ClusterError(
+                f"shard {sid} worker is in an unknown state after an "
+                "earlier timeout; the request/reply protocol cannot resync"
+            )
+        conn = self._workers[sid].conn
+        try:
+            if not conn.poll(self._op_timeout):
+                # The worker may still reply later; one unconsumed reply
+                # would desync every subsequent round, so this worker is
+                # permanently poisoned rather than half-trusted.
+                self._poisoned.add(sid)
+                raise ClusterError(
+                    f"shard {sid} worker unresponsive after "
+                    f"{self._op_timeout}s"
+                )
+            reply = conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise self._crash(sid, str(exc)) from exc
+        if reply[0] == "err":
+            self._versions[sid] = max(self._versions[sid], int(reply[1]))
+            raise reply[2]
+        if reply[0] == "ok":
+            self._versions[sid] = int(reply[1])
+        return reply
+
+    def _gather(self, sids) -> Dict[int, Tuple]:
+        """Collect one reply per shard in ``sids``, draining every pipe.
+
+        Never stops at the first failure: a reply left in flight would be
+        mistaken for the *next* operation's answer (one round behind —
+        worse than an exception, it acknowledges fences that did not
+        happen). All pipes are drained, then the first failure re-raises.
+        """
+        replies: Dict[int, Tuple] = {}
+        first_exc: Optional[BaseException] = None
+        for sid in sids:
+            try:
+                replies[sid] = self._recv(sid)
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return replies
+
+    def _round(self, jobs) -> Dict[int, Tuple]:
+        """One fenced dispatch round: run every send thunk, drain every
+        reply.
+
+        ``jobs`` is a list of ``(sid, send_thunk)`` pairs. A failure in
+        any thunk stops further sends, but replies for frames already on
+        the wire are still drained (:meth:`_gather`) before the first
+        failure re-raises — the invariant that keeps every worker's pipe
+        exactly one request/one reply in step.
+        """
+        sent: List[int] = []
+        send_exc: Optional[BaseException] = None
+        for sid, send in jobs:
+            try:
+                send()
+                sent.append(sid)
+            except BaseException as exc:
+                send_exc = exc
+                break
+        try:
+            replies = self._gather(sent)
+        except BaseException:
+            if send_exc is None:
+                raise
+            replies = {}
+        if send_exc is not None:
+            raise send_exc
+        return replies
+
+    def _ensure_lanes(self, sid: int, req_bytes: int, resp_bytes: int) -> None:
+        worker = self._workers[sid]
+        if worker.req.ensure(req_bytes):
+            worker.ipc["lane_growths"] += 1
+        if worker.resp.ensure(resp_bytes):
+            worker.ipc["lane_growths"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shard workers (== effective shard count)."""
+        return len(self._workers)
+
+    @property
+    def version(self) -> int:
+        """Monotonic engine-wide mutation stamp (sum of shard versions).
+
+        Maintained from the version stamp every worker reply carries, so
+        it moves exactly as the in-process engine's
+        :attr:`~repro.engine.ShardedEngine.version` would — the serve
+        layer's flush barrier works unchanged across the process hop.
+        """
+        return sum(self._versions)
+
+    def shard_versions(self) -> Tuple[int, ...]:
+        """Last-known per-shard version stamps (one per worker)."""
+        return tuple(self._versions)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine-level stats composed from live per-worker shard stats.
+
+        Returns
+        -------
+        dict
+            The :meth:`ShardedEngine.stats` shape — ``n``, ``n_shards``,
+            ``cuts``, ``model_bytes``, ``n_pages``, ``buffered_elements``,
+            ``shards`` — plus cluster extras: ``workers`` (pid/alive per
+            shard) and ``ipc`` (batch, pickle-fallback and lane-growth
+            counters).
+        """
+        self._check_open()
+        per_shard = self._broadcast(("stats",))
+        self._n = sum(s["n"] for s in per_shard)
+        return {
+            "n": self._n,
+            "n_shards": self.n_shards,
+            "cuts": self.cuts.tolist(),
+            "model_bytes": sum(s["model_bytes"] for s in per_shard)
+            + 8 * self.cuts.size,
+            "n_pages": sum(s["n_pages"] for s in per_shard),
+            "buffered_elements": sum(s["buffered_elements"] for s in per_shard),
+            "shards": per_shard,
+            "workers": [
+                {"pid": w.process.pid, "alive": w.process.is_alive()}
+                for w in self._workers
+            ],
+            "ipc": {
+                key: sum(w.ipc[key] for w in self._workers)
+                for key in ("batches", "pickle_fallbacks", "lane_growths")
+            },
+        }
+
+    def warm(self) -> None:
+        """Pre-build every worker's flattened read snapshot."""
+        self._check_open()
+        self._broadcast(("warm",))
+
+    def validate(self) -> None:
+        """Validate every shard in its worker, plus the routing invariant
+        (each worker checks its keys stay inside its cut range)."""
+        self._check_open()
+        self._broadcast(("validate",))
+
+    def _broadcast(self, frame: Tuple) -> List[Any]:
+        """Send one frame to every worker; gather payloads in shard order."""
+        self._acquire_all()
+        try:
+            replies = self._round(
+                [
+                    (sid, lambda sid=sid: self._send(sid, frame))
+                    for sid in range(self.n_shards)
+                ]
+            )
+            return [replies[sid][2] for sid in range(self.n_shards)]
+        finally:
+            self._release_all()
+
+    def _acquire_all(self) -> None:
+        for worker in self._workers:
+            worker.lock.acquire()
+
+    def _release_all(self) -> None:
+        for worker in self._workers:
+            if worker.lock.locked():
+                worker.lock.release()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def route_shards(self, queries) -> np.ndarray:
+        """Owning shard id per query key (vectorized; the dispatch split
+        the serve layer's per-shard tasks use)."""
+        return route(self.cuts, np.asarray(queries, dtype=np.float64))
+
+    def get(self, key: float, default: Any = None) -> Any:
+        """Scalar point lookup (a one-key batch through the owning worker)."""
+        out = self.get_batch(np.asarray([key], dtype=np.float64), default)
+        return out[0]
+
+    def __contains__(self, key: float) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def get_batch(self, queries, default: Any = None) -> np.ndarray:
+        """Vectorized point lookups fanned out across the shard workers.
+
+        The batch is routed with one ``searchsorted`` over the cuts; each
+        owning worker receives its whole sub-batch through its
+        shared-memory lane, every worker computes concurrently (separate
+        interpreters — no GIL serialization), and results scatter back
+        into request order. Results are bit-identical to
+        :meth:`ShardedEngine.get_batch`.
+
+        Parameters
+        ----------
+        queries:
+            Key batch, any array-like coercible to float64; order is
+            preserved in the result.
+        default:
+            Value stored in the slot of every query with no match
+            (parent-side only — it never crosses the process boundary).
+
+        Returns
+        -------
+        numpy.ndarray
+            One value per query: the values dtype when every query hits,
+            else an object array with ``default`` in the miss slots.
+        """
+        self._check_open()
+        q = np.ascontiguousarray(queries, dtype=np.float64)
+        if q.size == 0:
+            # Matches the in-process engine's warm combined-view path: an
+            # empty batch over a populated engine keeps the values dtype.
+            return np.empty(0, dtype=self._values_dtype if self._n else object)
+        sid = route(self.cuts, q)
+        groups: List[Tuple[int, np.ndarray]] = []
+        for i in range(self.n_shards):
+            idx = np.flatnonzero(sid == i)
+            if idx.size:
+                groups.append((i, idx))
+        self._acquire_all()
+        try:
+            replies = self._round(
+                [
+                    (i, lambda i=i, idx=idx: self._send_get(i, q[idx]))
+                    for i, idx in groups
+                ]
+            )
+            parts = [
+                (idx, self._decode_get(i, replies[i][2])) for i, idx in groups
+            ]
+            # Scatter while the locks pin the response lanes (the parts
+            # hold zero-copy lane views).
+            return self._scatter(q.size, parts, default)
+        finally:
+            self._release_all()
+
+    def get_batch_shard(self, sid: int, queries, default: Any = None) -> np.ndarray:
+        """One shard's sub-batch, answered through its worker alone.
+
+        Safe to call from concurrent threads for *different* shards (the
+        serve layer's per-shard dispatch tasks); calls for the same shard
+        serialize on that worker's lock.
+
+        Parameters
+        ----------
+        sid:
+            Shard id (``0 <= sid < n_shards``); every query must route
+            here for results to be meaningful.
+        queries:
+            This shard's key sub-batch.
+        default:
+            Miss filler, as in :meth:`get_batch`.
+
+        Returns
+        -------
+        numpy.ndarray
+            One value per query, exactly as :meth:`get_batch` would fill
+            those slots.
+        """
+        self._check_open()
+        q = np.ascontiguousarray(queries, dtype=np.float64)
+        if q.size == 0:
+            return np.empty(0, dtype=object)
+        worker = self._workers[sid]
+        with worker.lock:
+            self._send_get(sid, q)
+            values, found = self._decode_get(sid, self._recv(sid)[2])
+            return self._scatter(
+                q.size, [(np.arange(q.size), (values, found))], default
+            )
+
+    def _send_get(self, sid: int, q: np.ndarray) -> None:
+        worker = self._workers[sid]
+        resp_bytes = q.size * (self._values_dtype.itemsize + 1) + 64
+        self._ensure_lanes(sid, q.nbytes, resp_bytes)
+        descr = worker.req.write([q])[0]
+        worker.ipc["batches"] += 1
+        self._send(sid, ("get_batch", (worker.req.name, worker.resp.name), descr))
+
+    def _decode_get(self, sid: int, payload: Tuple) -> Tuple[Any, Optional[np.ndarray]]:
+        # Returned arrays are zero-copy views of the response lane; the
+        # scatter into the caller's output array is the one copy they get
+        # and happens before the lane is ever reused (ops are strict
+        # request/reply rounds under the worker's lock).
+        worker = self._workers[sid]
+        if payload[0] == "shm":
+            _, value_descrs, mask_descr = payload
+            values = worker.resp.read(value_descrs)[0]
+            if mask_descr is None:
+                return values, None
+            found = worker.resp.read([mask_descr])[0].view(np.bool_)
+            return values, found
+        _, values_list, found = payload  # pickle fallback (object payloads)
+        worker.ipc["pickle_fallbacks"] += 1
+        return values_list, found
+
+    def _scatter(
+        self, n: int, parts: List[Tuple[np.ndarray, Tuple[Any, Any]]], default: Any
+    ) -> np.ndarray:
+        all_found = all(found is None for _, (_, found) in parts)
+        if all_found:
+            dtypes = {np.asarray(values).dtype for _, (values, _) in parts}
+            dtype = dtypes.pop() if len(dtypes) == 1 else np.dtype(object)
+            out = np.empty(n, dtype=dtype)
+            for idx, (values, _) in parts:
+                out[idx] = values
+            return out
+        out = np.empty(n, dtype=object)
+        out[:] = default
+        for idx, (values, found) in parts:
+            if found is None:
+                out[idx] = values
+            else:
+                hit = idx[np.asarray(found)]
+                if isinstance(values, list):  # pickle fallback payload
+                    vals = [v for v, f in zip(values, found) if f]
+                    for slot, v in zip(hit, vals):
+                        out[slot] = v
+                else:
+                    out[hit] = values[np.asarray(found)]
+        return out
+
+    # ------------------------------------------------------------------
+    # Range scans
+    # ------------------------------------------------------------------
+
+    def range_items(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[Tuple[float, Any]]:
+        """Scalar-compatible range scan stitched across workers in key order."""
+        keys, values = self.range_arrays(lo, hi, include_lo, include_hi)
+        for k, v in zip(keys, values):
+            yield float(k), v
+
+    def range_arrays(
+        self,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One range query, answered as ``(keys, values)`` arrays."""
+        flo = -math.inf if lo is None else float(lo)
+        fhi = math.inf if hi is None else float(hi)
+        results = self.range_batch(
+            np.asarray([[flo, fhi]]), include_lo, include_hi
+        )
+        return results[0]
+
+    def range_batch(
+        self,
+        bounds,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One ``(keys, values)`` pair per ``[lo, hi]`` row of ``bounds``.
+
+        Each worker receives only the bounds overlapping its cut range
+        (through its request lane), scans them against its shard
+        concurrently with the others, and replies with its contributions
+        (concatenated rows + per-bound counts through the response lane);
+        the parent stitches per-bound results in shard order, which is
+        key order. Results match :meth:`ShardedEngine.range_batch`.
+
+        Parameters
+        ----------
+        bounds:
+            ``(n, 2)`` array-like of inclusive ``[lo, hi]`` key bounds.
+        include_lo, include_hi:
+            Bound inclusivity, applied to every scan in the batch.
+
+        Returns
+        -------
+        list of (numpy.ndarray, numpy.ndarray)
+            For each bounds row, the matching ``(keys, values)`` arrays
+            in key order.
+        """
+        self._check_open()
+        bounds = np.asarray(bounds, dtype=np.float64)
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise InvalidParameterError("bounds must be an (n, 2) array")
+        n_bounds = bounds.shape[0]
+        if n_bounds == 0:
+            return []
+        first = route(self.cuts, bounds[:, 0])
+        last = route(self.cuts, bounds[:, 1])
+        jobs: List[Tuple[int, np.ndarray]] = []
+        for sid in range(self.n_shards):
+            idx = np.flatnonzero((first <= sid) & (sid <= last))
+            if idx.size:
+                jobs.append((sid, idx))
+        self._acquire_all()
+        try:
+            raw = self._round(
+                [
+                    (
+                        sid,
+                        lambda sid=sid, idx=idx: self._send_ranges(
+                            sid, bounds[idx], include_lo, include_hi
+                        ),
+                    )
+                    for sid, idx in jobs
+                ]
+            )
+            replies = [
+                (sid, idx, self._decode_ranges(sid, raw[sid][2]))
+                for sid, idx in jobs
+            ]
+        finally:
+            self._release_all()
+        parts: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(n_bounds)
+        ]
+        for _sid, idx, results in replies:  # shard order == key order
+            for bound_pos, (k, v) in zip(idx, results):
+                parts[bound_pos].append((k, v))
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for contributions in parts:
+            if not contributions:
+                out.append(
+                    (
+                        np.empty(0, dtype=np.float64),
+                        np.empty(0, dtype=self._values_dtype),
+                    )
+                )
+            elif len(contributions) == 1:
+                out.append(contributions[0])
+            else:
+                out.append(
+                    (
+                        np.concatenate([k for k, _ in contributions]),
+                        np.concatenate([v for _, v in contributions]),
+                    )
+                )
+        return out
+
+    def _send_ranges(
+        self, sid: int, sub_bounds: np.ndarray, include_lo: bool, include_hi: bool
+    ) -> None:
+        worker = self._workers[sid]
+        los = np.ascontiguousarray(sub_bounds[:, 0])
+        his = np.ascontiguousarray(sub_bounds[:, 1])
+        self._ensure_lanes(sid, los.nbytes + his.nbytes + 64, 0)
+        descr = worker.req.write([los, his])
+        worker.ipc["batches"] += 1
+        self._send(
+            sid,
+            (
+                "range_batch",
+                (worker.req.name, worker.resp.name),
+                descr,
+                include_lo,
+                include_hi,
+            ),
+        )
+
+    def _decode_ranges(
+        self, sid: int, payload: Tuple
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        worker = self._workers[sid]
+        if payload[0] == "pickle":
+            worker.ipc["pickle_fallbacks"] += 1
+            results = payload[1]
+            # The worker fell back because the reply outgrew the response
+            # lane (or carried object values). Numeric overflows are the
+            # common case for wide scans: grow the lane now so the next
+            # comparable reply takes the zero-copy path (the worker
+            # re-attaches by name from the next frame).
+            needed = 64 + 24 * len(results) + sum(
+                k.nbytes + v.nbytes
+                for k, v in results
+                if v.dtype != np.dtype(object)
+            )
+            has_object = any(
+                v.dtype == np.dtype(object) for _, v in results
+            )
+            if not has_object and worker.resp.ensure(needed):
+                worker.ipc["lane_growths"] += 1
+            return results
+        _, descrs, _values_dtype = payload
+        counts, all_keys, all_values = worker.resp.read(descrs)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        out = []
+        for i in range(counts.size):
+            a, b = int(offsets[i]), int(offsets[i + 1])
+            out.append((np.array(all_keys[a:b]), np.array(all_values[a:b])))
+        return out
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _resolve_batch_values(self, keys: np.ndarray, values) -> np.ndarray:
+        if values is None:
+            if not self._auto_rowid:
+                raise InvalidParameterError(
+                    "this engine stores explicit values; insert_batch "
+                    "requires aligned values"
+                )
+            out = np.arange(
+                self._next_rowid, self._next_rowid + keys.size, dtype=np.int64
+            )
+            self._next_rowid += keys.size
+            return out
+        return aligned_value_array(keys.size, values)
+
+    def insert(self, key: float, value: Any = None) -> None:
+        """Scalar insert (engine-level row id when built without values)."""
+        if value is None:
+            if not self._auto_rowid:
+                raise InvalidParameterError(
+                    "this engine stores typed values; insert(key, value) "
+                    "requires an explicit value"
+                )
+            value = self._next_rowid
+            self._next_rowid += 1
+        self._insert_sorted(
+            np.asarray([float(key)], dtype=np.float64),
+            aligned_value_array(1, [value]),
+        )
+
+    def insert_batch(self, keys, values=None) -> None:
+        """Bulk batch insert: route once, apply per worker under one fence.
+
+        The batch is stable-sorted and cut into one contiguous sub-batch
+        per shard exactly as :meth:`ShardedEngine.insert_batch` does; each
+        owning worker applies its chunk through the same vectorized
+        per-page merge path, and the call returns only after *every*
+        owning worker has acknowledged — the per-batch fence that makes a
+        subsequent read see the write regardless of which process served
+        it. The engine-wide :attr:`version` stamp advances with the
+        acknowledgements. Empty batches are a strict no-op.
+
+        Parameters
+        ----------
+        keys:
+            Keys to insert, any order, any array-like coercible to
+            float64.
+        values:
+            Aligned payloads; ``None`` assigns engine-wide auto row ids
+            in request order (only on engines built without explicit
+            values).
+        """
+        self._check_open()
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.size == 0:
+            return
+        values = self._resolve_batch_values(keys, values)
+        order = np.argsort(keys, kind="stable")
+        self._insert_sorted(keys[order], values[order])
+
+    def _insert_sorted(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._check_open()
+        jobs = [
+            (sid, a, b)
+            for sid, (a, b) in enumerate(shard_bounds(keys, self.cuts))
+            if a < b
+        ]
+        self._acquire_all()
+        try:
+            # The fence: every owning worker has replied (i.e. applied its
+            # chunk) before this returns — and every reply is drained even
+            # on failure, so the pipes never fall a round behind.
+            try:
+                self._round(
+                    [
+                        (
+                            sid,
+                            lambda sid=sid, a=a, b=b: self._send_insert(
+                                sid, keys[a:b], values[a:b]
+                            ),
+                        )
+                        for sid, a, b in jobs
+                    ]
+                )
+            except BaseException:
+                # Some chunks may have applied before the failure; resync
+                # the cached element count from the workers (ShardedEngine
+                # counts partial applies too — len() must agree).
+                self._resync_len()
+                raise
+        finally:
+            self._release_all()
+        self._n += keys.size
+
+    def _resync_len(self) -> None:
+        """Best-effort recount of ``_n`` from live workers (caller holds
+        every worker lock). A dead/poisoned worker leaves the old count —
+        the next successful :meth:`stats` call resyncs it."""
+        try:
+            replies = self._round(
+                [
+                    (sid, lambda sid=sid: self._send(sid, ("stats",)))
+                    for sid in range(self.n_shards)
+                ]
+            )
+        except BaseException:
+            return
+        self._n = sum(replies[sid][2]["n"] for sid in replies)
+
+    def _send_insert(self, sid: int, keys: np.ndarray, values: np.ndarray) -> None:
+        worker = self._workers[sid]
+        worker.ipc["batches"] += 1
+        if values.dtype == np.dtype(object):
+            worker.ipc["pickle_fallbacks"] += 1
+            self._ensure_lanes(sid, keys.nbytes + 64, 0)
+            keys_descr = worker.req.write([keys])[0]
+            frame = (
+                "insert_batch",
+                (worker.req.name, worker.resp.name),
+                keys_descr,
+                None,
+                # The object ndarray itself, NOT a list: a list would be
+                # re-coerced worker-side (e.g. to a unicode dtype),
+                # changing what gets stored vs the in-process engine.
+                values,
+            )
+        else:
+            self._ensure_lanes(sid, keys.nbytes + values.nbytes + 64, 0)
+            keys_descr, values_descr = worker.req.write([keys, values])
+            frame = (
+                "insert_batch",
+                (worker.req.name, worker.resp.name),
+                keys_descr,
+                values_descr,
+                None,
+            )
+        self._send(sid, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"ClusterEngine(n={self._n}, workers={len(self._workers)}, "
+            f"{state})"
+        )

@@ -1,0 +1,305 @@
+"""The per-shard worker process: rebuild one shard, serve its batch verbs.
+
+Each worker owns exactly one range shard — a paged index rebuilt from the
+parent's :meth:`~repro.core.paged_index.PagedIndexBase.to_state` snapshot
+(one bulk pass, no re-segmentation) — and runs a blocking request/reply
+loop over a ``multiprocessing`` pipe. Bulk payloads travel through the
+parent-owned shared-memory lanes (:mod:`repro.cluster.shm`); the pipe
+carries only control frames.
+
+Protocol (parent → worker), one reply per frame:
+
+==============  ====================================================
+``get_batch``   answer a key batch; replies values + found mask
+``range_batch`` answer ``[lo, hi]`` scans; replies concatenated rows
+``insert_batch``  apply a sorted per-shard chunk (the write fence:
+                the reply is not sent until the mutation is applied)
+``stats``       the shard index's ``stats()`` dict
+``warm``        pre-build the shard's flattened read snapshot
+``validate``    full shard validation + routing-range check
+``shutdown``    clean exit (replies ``("bye",)`` first)
+==============  ====================================================
+
+Every reply carries the shard's monotonic ``version`` stamp, so the
+parent-side engine can maintain the engine-wide version barrier the serve
+layer's read-your-writes logic depends on. Per-op exceptions are caught
+and shipped back pickled (an invalid parameter is the same error on either
+side of the process boundary); the loop itself only exits on ``shutdown``
+or when the parent disappears (pipe EOF).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.shm import ShmLane, attach_lane
+from repro.cluster.snapshot import index_from_state
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["shard_worker_main"]
+
+#: Worker-local miss sentinel for ``get_batch`` (never crosses the pipe).
+_MISS = object()
+
+
+class _ShardServer:
+    """One worker's state: the rebuilt shard index plus cached lanes."""
+
+    def __init__(self, state: Dict[str, Any], lo: Optional[float], hi: Optional[float]):
+        self.index = index_from_state(state)
+        self.values_dtype = np.dtype(state["values_dtype"])
+        self.lo = lo  # owning cut range, for validate()
+        self.hi = hi
+        self._lanes: Dict[str, Tuple[str, ShmLane]] = {}
+
+    # -- lanes ---------------------------------------------------------
+
+    def lane(self, side: str, name: str) -> ShmLane:
+        """The request/response lane named in a frame, (re-)attached lazily.
+
+        The parent may reallocate a lane to grow it; a changed name means
+        the old block is gone, so the stale attachment is dropped.
+        """
+        cached = self._lanes.get(side)
+        if cached is not None and cached[0] == name:
+            return cached[1]
+        if cached is not None:
+            cached[1].close()
+        lane = attach_lane(name)
+        self._lanes[side] = (name, lane)
+        return lane
+
+    def close_lanes(self) -> None:
+        """Drop every cached lane attachment (worker-exit cleanup)."""
+        for _, lane in self._lanes.values():
+            lane.close()
+        self._lanes.clear()
+
+    # -- verbs ---------------------------------------------------------
+
+    def get_batch(self, q: np.ndarray):
+        """Values + found mask for one key batch.
+
+        Parameters
+        ----------
+        q:
+            This shard's float64 key sub-batch (may alias the request
+            lane; reads never mutate).
+
+        Returns
+        -------
+        tuple
+            ``(values, found)`` — ``found`` is ``None`` when every query
+            hit (the all-numeric fast shape), else a bool mask.
+        """
+        result = self.index.get_batch(q, _MISS)
+        if result.dtype != np.dtype(object):
+            return result, None
+        found = np.fromiter(
+            (v is not _MISS for v in result), dtype=bool, count=result.size
+        )
+        return result, found
+
+    def encode_get_reply(self, resp: ShmLane, result, found):
+        """Encode a get_batch answer into the response lane.
+
+        Numeric results go through shared memory (values array + packed
+        mask); anything the shard's dtype cannot hold — buffered object
+        payloads — falls back to a pickled ``(values_list, mask)`` pair.
+        """
+        if found is None:
+            descr = resp.write([result])
+            return ("shm", descr, None)
+        values = np.zeros(result.size, dtype=self.values_dtype)
+        hits = result[found] if found.any() else result[:0]
+        try:
+            cast = hits.astype(self.values_dtype)
+            # Same exactness rule as SegmentPage.buffer_arrays: the cast
+            # must be value-preserving (NaN payloads allowed), otherwise
+            # the payload is not really numeric — e.g. the string '123'
+            # parses but must come back as a string, not 123.
+            exact = all(
+                c == h or (h != h and c != c) for c, h in zip(cast, hits)
+            )
+        except (ValueError, TypeError):  # non-numeric buffered payloads
+            exact = False
+        if not exact:
+            payload = [v if f else None for v, f in zip(result, found)]
+            return ("pickle", payload, found)
+        if hits.size:
+            values[found] = cast
+        descr = resp.write([values, found.view(np.uint8)])
+        return ("shm", descr[:1], descr[1])
+
+    def range_batch(self, los, his, include_lo: bool, include_hi: bool):
+        """Per-bound (keys, values) contributions from this shard.
+
+        Parameters
+        ----------
+        los, his:
+            Aligned per-bound lower/upper keys (float64, may alias the
+            request lane).
+
+        Returns
+        -------
+        list of (numpy.ndarray, numpy.ndarray)
+            This shard's matching rows per bound, in key order.
+        """
+        from repro.engine.batch import flat_view
+
+        view = flat_view(self.index)
+        out = []
+        for lo, hi in zip(los, his):
+            out.append(view.range_arrays(float(lo), float(hi), include_lo, include_hi))
+        return out
+
+    def encode_range_reply(self, resp: ShmLane, results):
+        """Encode range results: concatenated keys/values + per-bound counts.
+
+        Falls back to pickled per-bound arrays when the payload outgrows
+        the response lane or the values are object-dtyped.
+        """
+        counts = np.asarray([k.size for k, _ in results], dtype=np.int64)
+        if results:
+            all_keys = np.concatenate([k for k, _ in results])
+            all_values = np.concatenate([v for _, v in results])
+        else:
+            all_keys = np.empty(0, dtype=np.float64)
+            all_values = np.empty(0, dtype=self.values_dtype)
+        arrays = [counts, all_keys, all_values]
+        if (
+            all_values.dtype != np.dtype(object)
+            and ShmLane.required_bytes(arrays) <= resp.capacity
+        ):
+            return ("shm", resp.write(arrays), str(all_values.dtype.str))
+        return ("pickle", results, None)
+
+    def validate(self) -> None:
+        """Shard validation plus the engine routing invariant, vectorized."""
+        self.index.validate()
+        arrays = self.index.flat_arrays()
+        for keys in (arrays["keys"], arrays["buf_keys"]):
+            if keys.size == 0:
+                continue
+            if self.lo is not None and float(keys.min()) < self.lo:
+                raise InvalidParameterError(
+                    f"shard holds key {keys.min()} below cut {self.lo}"
+                )
+            if self.hi is not None and float(keys.max()) >= self.hi:
+                raise InvalidParameterError(
+                    f"shard holds key {keys.max()} at/above cut {self.hi}"
+                )
+
+    def warm(self) -> None:
+        """Pre-build the flattened read snapshot (first-batch latency)."""
+        from repro.engine.batch import flat_view
+
+        flat_view(self.index)
+
+
+def shard_worker_main(
+    conn: Any,
+    state: Dict[str, Any],
+    shard_id: int,
+    lo: Optional[float],
+    hi: Optional[float],
+    index_cls: Any = None,
+) -> None:
+    """Entry point of one shard worker process (the ``Process`` target).
+
+    Parameters
+    ----------
+    conn:
+        The worker end of the control pipe.
+    state:
+        The shard's ``to_state`` snapshot to rebuild from.
+    shard_id:
+        This shard's id (error reporting only).
+    lo, hi:
+        The shard's owning cut range (``None`` = unbounded), checked by
+        the ``validate`` verb.
+    index_cls:
+        The shard's index class, resolved parent-side. Registered here
+        before the rebuild so downstream classes work under ``spawn``
+        too (a spawned child re-imports with a freshly seeded registry;
+        the parent's ``register_index_class`` calls are not inherited).
+    """
+    try:
+        if index_cls is not None:
+            from repro.cluster.snapshot import register_index_class
+
+            register_index_class(index_cls)
+        server = _ShardServer(state, lo, hi)
+    except BaseException as exc:  # surface rebuild failures to the parent
+        try:
+            conn.send(("err", 0, exc))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", server.index.version))
+    try:
+        while True:
+            try:
+                frame = conn.recv()
+            except EOFError:  # parent died; nothing left to serve
+                break
+            verb = frame[0]
+            if verb == "shutdown":
+                conn.send(("bye",))
+                break
+            try:
+                reply = _dispatch(server, frame)
+            except BaseException as exc:
+                reply = ("err", server.index.version, exc)
+            try:
+                conn.send(reply)
+            except Exception:  # unpicklable reply payload
+                conn.send(("err", server.index.version,
+                           RuntimeError(f"unpicklable {verb} reply")))
+    finally:
+        server.close_lanes()
+        conn.close()
+
+
+def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
+    """Execute one control frame; return the reply tuple."""
+    verb = frame[0]
+    if verb == "get_batch":
+        _, (req_name, resp_name), q_descr = frame
+        req = server.lane("req", req_name)
+        resp = server.lane("resp", resp_name)
+        (q,) = req.read([q_descr])
+        result, found = server.get_batch(q)
+        payload = server.encode_get_reply(resp, result, found)
+        return ("ok", server.index.version, payload)
+    if verb == "range_batch":
+        _, (req_name, resp_name), bounds_descr, include_lo, include_hi = frame
+        req = server.lane("req", req_name)
+        resp = server.lane("resp", resp_name)
+        los, his = req.read(bounds_descr)
+        results = server.range_batch(los, his, include_lo, include_hi)
+        payload = server.encode_range_reply(resp, results)
+        return ("ok", server.index.version, payload)
+    if verb == "insert_batch":
+        _, (req_name, _resp_name), keys_descr, values_descr, pickled = frame
+        req = server.lane("req", req_name)
+        (keys_view,) = req.read([keys_descr])
+        keys = np.array(keys_view)  # own the memory before mutating state
+        if values_descr is not None:
+            (values_view,) = req.read([values_descr])
+            values = np.array(values_view)
+        else:
+            values = pickled
+        server.index.insert_batch(keys, values)
+        return ("ok", server.index.version, None)
+    if verb == "stats":
+        return ("ok", server.index.version, server.index.stats())
+    if verb == "warm":
+        server.warm()
+        return ("ok", server.index.version, None)
+    if verb == "validate":
+        server.validate()
+        return ("ok", server.index.version, None)
+    raise ValueError(f"unknown verb {verb!r}")

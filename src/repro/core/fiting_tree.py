@@ -140,6 +140,18 @@ class FITingTree(PagedIndexBase):
             for seg in segments
         ]
 
+    def _snapshot_params(self) -> Dict[str, Any]:
+        """Constructor kwargs reproducing this tree's configuration
+        (see :meth:`repro.core.paged_index.PagedIndexBase.to_state`)."""
+        return {
+            "error": self.error,
+            "buffer_capacity": self.buffer_capacity,
+            "accept": self._accept,
+            "search": self.search_mode,
+            "branching": self._tree.branching,
+            "fill": self._fill,
+        }
+
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out.update(

@@ -345,6 +345,160 @@ class PagedIndexBase:
             "buf_values": np.concatenate(buf_value_parts) if n_pages else empty_v,
         }
 
+    # ------------------------------------------------------------------
+    # Snapshots (in-memory serialization; the multi-process substrate)
+    # ------------------------------------------------------------------
+
+    def _snapshot_params(self) -> Dict[str, Any]:
+        """Constructor kwargs reproducing this index's configuration.
+
+        Subclass hook for :meth:`to_state`: must return keyword arguments
+        such that ``type(self)(**params)`` builds an empty index with the
+        same segmentation policy, buffering, search mode and tree shape.
+        """
+        raise NotImplementedError
+
+    def to_state(self) -> Dict[str, Any]:
+        """Export the whole index as one in-memory, process-portable dict.
+
+        The snapshot generalizes :mod:`repro.core.serialize`'s on-disk
+        format: flat NumPy arrays (concatenated page data, per-page
+        boundaries, start keys, slopes, seqs, deletion counts, buffered
+        entries) plus the scalar build parameters, the row-id counter and
+        the monotonic :attr:`version` stamp. :meth:`from_state` rebuilds
+        an identical index with one bulk pass — no re-segmentation — which
+        is how ``repro.cluster`` ships a shard into a worker process.
+        Only numeric (integer/float) value dtypes are supported; object
+        payloads raise :class:`InvalidParameterError` (they have no
+        portable flat representation).
+
+        Returns
+        -------
+        dict
+            Plain dict of NumPy arrays and scalars (picklable, and every
+            array is contiguous). Treat it as immutable: arrays may alias
+            live page data.
+        """
+        if self._values_dtype == np.dtype(object):
+            raise InvalidParameterError(
+                "object-dtype values cannot be snapshotted"
+            )
+        starts: List[float] = []
+        seqs: List[float] = []
+        slopes: List[float] = []
+        lengths: List[int] = []
+        deletions: List[int] = []
+        data_keys: List[np.ndarray] = []
+        data_values: List[np.ndarray] = []
+        buf_keys: List[float] = []
+        buf_values: List[Any] = []
+        buf_lengths: List[int] = []
+        for (start, seq), page in self._tree.items():
+            starts.append(start)
+            seqs.append(seq)
+            slopes.append(page.slope)
+            lengths.append(page.n_data)
+            deletions.append(page.deletions)
+            data_keys.append(page.keys)
+            data_values.append(page.values)
+            buf_lengths.append(page.n_buffer)
+            buf_keys.extend(page.buf_keys)
+            buf_values.extend(page.buf_values)
+        dtype = self._values_dtype
+        return {
+            "format_version": 2,
+            "index_cls": type(self).__name__,
+            "params": self._snapshot_params(),
+            "n": self._n,
+            "auto_rowid": self._auto_rowid,
+            "next_rowid": self._next_rowid,
+            "values_dtype": dtype.str,
+            "version": self._version,
+            "starts": np.asarray(starts, dtype=np.float64),
+            "seqs": np.asarray(seqs, dtype=np.float64),
+            "slopes": np.asarray(slopes, dtype=np.float64),
+            "lengths": np.asarray(lengths, dtype=np.int64),
+            "deletions": np.asarray(deletions, dtype=np.int64),
+            "data_keys": (
+                np.concatenate(data_keys)
+                if data_keys
+                else np.empty(0, dtype=np.float64)
+            ),
+            "data_values": (
+                np.concatenate(data_values)
+                if data_values
+                else np.empty(0, dtype=dtype)
+            ),
+            "buf_keys": np.asarray(buf_keys, dtype=np.float64),
+            "buf_values": np.asarray(buf_values, dtype=dtype),
+            "buf_lengths": np.asarray(buf_lengths, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "PagedIndexBase":
+        """Rebuild an index from a :meth:`to_state` snapshot.
+
+        The result is bit-identical to the snapshotted index: contents,
+        page boundaries and slopes, buffered (unmerged) inserts,
+        tree-key seq numbers, deletion-widening state, the row-id counter
+        and the :attr:`version` stamp all survive. Pages own fresh array
+        copies, so mutating the rebuilt index never touches the source.
+
+        Parameters
+        ----------
+        state:
+            A dict produced by :meth:`to_state` (of this class —
+            ``state["index_cls"]`` is not re-dispatched here; see
+            ``repro.cluster.snapshot.index_from_state`` for the
+            class-dispatching entry point).
+
+        Returns
+        -------
+        PagedIndexBase
+            A fully functional index of type ``cls``.
+        """
+        index = cls(**state["params"])
+        index._auto_rowid = bool(state["auto_rowid"])
+        index._next_rowid = int(state["next_rowid"])
+        index._values_dtype = np.dtype(state["values_dtype"])
+
+        starts = state["starts"]
+        seqs = state["seqs"]
+        slopes = state["slopes"]
+        lengths = state["lengths"]
+        deletions = state["deletions"]
+        data_keys = state["data_keys"]
+        data_values = state["data_values"]
+        buf_keys = state["buf_keys"]
+        buf_values = state["buf_values"]
+        buf_lengths = state["buf_lengths"]
+
+        pairs = []
+        offset = 0
+        buf_offset = 0
+        for i in range(len(starts)):
+            end = offset + int(lengths[i])
+            page = SegmentPage(
+                float(starts[i]),
+                float(slopes[i]),
+                data_keys[offset:end].copy(),
+                data_values[offset:end].copy(),
+            )
+            page.deletions = int(deletions[i])
+            buf_end = buf_offset + int(buf_lengths[i])
+            page.buf_keys = [float(k) for k in buf_keys[buf_offset:buf_end]]
+            page.buf_values = list(buf_values[buf_offset:buf_end])
+            pairs.append(((float(starts[i]), float(seqs[i])), page))
+            offset = end
+            buf_offset = buf_end
+        if pairs:
+            index._tree.bulk_load(pairs, fill=index._fill)
+        index._n = int(state["n"])
+        index._dirty = True
+        if "version" in state:
+            index._version = int(state["version"])
+        return index
+
     def get_batch(self, queries, default: Any = None) -> np.ndarray:
         """Vectorized point lookups over a flattened-array snapshot.
 

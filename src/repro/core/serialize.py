@@ -1,158 +1,173 @@
-"""Persistence: save/load a FITing-Tree to a single ``.npz`` file.
+"""Persistence: save/load a paged index to a single ``.npz`` file.
 
-An extension beyond the paper (any adoptable index needs it). The on-disk
-format stores the segment structure flat — concatenated data keys/values,
-per-segment boundaries, start keys, slopes, seqs, and buffered entries —
-plus the scalar build parameters. Loading rebuilds the B+ tree with one
-bulk pass, so a round trip preserves exactly: contents, segment boundaries,
-buffer contents, tree-key seq numbers, error accounting, and pending
-deletion-widening state.
+An extension beyond the paper (any adoptable index needs it). Since the
+cluster layer landed this module is a thin disk encoding of the in-memory
+snapshot contract — :meth:`repro.core.paged_index.PagedIndexBase.to_state`
+/ ``from_state`` — which stores the segment structure flat: concatenated
+data keys/values, per-segment boundaries, start keys, slopes, seqs, and
+buffered entries, plus the scalar build parameters. Loading rebuilds the
+B+ tree with one bulk pass (no re-segmentation), so a round trip preserves
+exactly: contents, segment boundaries, buffer contents, tree-key seq
+numbers, error accounting, pending deletion-widening state, the row-id
+counter and the monotonic ``version`` stamp.
 
 Only numeric (integer/float) value dtypes are supported: object payloads
-have no portable npz representation.
+have no portable flat representation.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Type
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
 from repro.core.fiting_tree import FITingTree
-from repro.core.page import SegmentPage
+from repro.core.paged_index import PagedIndexBase
 
-__all__ = ["save_index", "load_index"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "index_from_state",
+    "register_index_class",
+]
 
-_FORMAT_VERSION = 1
+#: Version 1 was FITingTree-only and did not persist the version stamp;
+#: version 2 is the generic ``to_state`` snapshot. Both load.
+_FORMAT_VERSION = 2
+
+#: State-array fields shared by the snapshot dict and the npz layout.
+_ARRAY_FIELDS = (
+    "starts",
+    "seqs",
+    "slopes",
+    "lengths",
+    "deletions",
+    "data_keys",
+    "data_values",
+    "buf_keys",
+    "buf_values",
+    "buf_lengths",
+)
+
+#: Scalar snapshot fields carried in the JSON meta blob.
+_META_FIELDS = ("n", "auto_rowid", "next_rowid", "values_dtype", "version")
 
 
-def save_index(index: FITingTree, path: str) -> None:
+#: The canonical snapshot-class dispatch table — shared by on-disk loads
+#: here and by cluster workers (``repro.cluster.snapshot`` re-exports the
+#: two functions below), so a class registered once both persists and
+#: clusters.
+_REGISTRY: Dict[str, Type[PagedIndexBase]] = {}
+
+
+def register_index_class(cls: Type[PagedIndexBase]) -> Type[PagedIndexBase]:
+    """Register a paged-index class for snapshot dispatch (by ``__name__``).
+
+    The built-in classes are pre-registered; downstream
+    :class:`~repro.core.paged_index.PagedIndexBase` subclasses call this
+    once so both :func:`load_index` and cluster workers can rebuild them.
+    Returns ``cls`` (usable as a decorator).
+    """
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def _registry() -> Dict[str, Type[PagedIndexBase]]:
+    """The dispatch table, lazily seeded (baselines import core).
+
+    Seeding keys off the built-ins' presence, not dict truthiness, so a
+    downstream class registered before the first load cannot displace
+    them; ``setdefault`` likewise keeps an explicit user registration
+    under a built-in name authoritative.
+    """
+    if "FITingTree" not in _REGISTRY or "FixedPageIndex" not in _REGISTRY:
+        from repro.baselines.fixed_index import FixedPageIndex
+
+        _REGISTRY.setdefault("FITingTree", FITingTree)
+        _REGISTRY.setdefault("FixedPageIndex", FixedPageIndex)
+    return _REGISTRY
+
+
+def index_from_state(state: Dict[str, Any]) -> PagedIndexBase:
+    """Rebuild an index from a ``to_state`` snapshot, any registered class.
+
+    Parameters
+    ----------
+    state:
+        A dict produced by ``PagedIndexBase.to_state`` (its
+        ``"index_cls"`` field selects the class).
+
+    Returns
+    -------
+    PagedIndexBase
+        The rebuilt index, bit-identical to the snapshotted one.
+    """
+    cls = _registry().get(state.get("index_cls"))
+    if cls is None:
+        raise InvalidParameterError(
+            f"unknown snapshot index class {state.get('index_cls')!r}; "
+            "register it with repro.core.serialize.register_index_class"
+        )
+    return cls.from_state(state)
+
+
+def save_index(index: PagedIndexBase, path: str) -> None:
     """Serialize ``index`` to ``path`` (a ``.npz`` file).
 
-    Raises :class:`InvalidParameterError` for object-dtype payloads.
+    Any :class:`~repro.core.paged_index.PagedIndexBase` subclass with a
+    snapshot hook works (``FITingTree``, ``FixedPageIndex``). Raises
+    :class:`InvalidParameterError` for other types and for object-dtype
+    payloads.
     """
-    if not isinstance(index, FITingTree):
+    if not isinstance(index, PagedIndexBase):
         raise InvalidParameterError(
-            f"save_index supports FITingTree, got {type(index).__name__}"
+            f"save_index supports paged indexes, got {type(index).__name__}"
         )
-    if index._values_dtype == np.dtype(object):
-        raise InvalidParameterError(
-            "object-dtype values cannot be serialized to npz"
-        )
-
-    data_keys: List[np.ndarray] = []
-    data_values: List[np.ndarray] = []
-    starts: List[float] = []
-    seqs: List[float] = []
-    slopes: List[float] = []
-    lengths: List[int] = []
-    deletions: List[int] = []
-    buf_keys: List[float] = []
-    buf_values: List[Any] = []
-    buf_lengths: List[int] = []
-
-    for (start, seq), page in index._tree.items():
-        starts.append(start)
-        seqs.append(seq)
-        slopes.append(page.slope)
-        lengths.append(page.n_data)
-        deletions.append(page.deletions)
-        data_keys.append(page.keys)
-        data_values.append(page.values)
-        buf_lengths.append(page.n_buffer)
-        buf_keys.extend(page.buf_keys)
-        buf_values.extend(page.buf_values)
-
+    state = index.to_state()
     meta = {
         "format_version": _FORMAT_VERSION,
-        "error": index.error,
-        "buffer_capacity": index.buffer_capacity,
-        "accept": index._accept,
-        "search": index.search_mode,
-        "branching": index._tree.branching,
-        "fill": index._fill,
-        "n": len(index),
-        "auto_rowid": index._auto_rowid,
-        "next_rowid": index._next_rowid,
-        "values_dtype": index._values_dtype.str,
+        "index_cls": state["index_cls"],
+        "params": state["params"],
     }
-    value_dtype = index._values_dtype
+    meta.update({k: state[k] for k in _META_FIELDS})
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        data_keys=(
-            np.concatenate(data_keys) if data_keys else np.empty(0)
-        ),
-        data_values=(
-            np.concatenate(data_values)
-            if data_values
-            else np.empty(0, dtype=value_dtype)
-        ),
-        starts=np.asarray(starts, dtype=np.float64),
-        seqs=np.asarray(seqs, dtype=np.float64),
-        slopes=np.asarray(slopes, dtype=np.float64),
-        lengths=np.asarray(lengths, dtype=np.int64),
-        deletions=np.asarray(deletions, dtype=np.int64),
-        buf_keys=np.asarray(buf_keys, dtype=np.float64),
-        buf_values=np.asarray(buf_values, dtype=value_dtype),
-        buf_lengths=np.asarray(buf_lengths, dtype=np.int64),
+        **{k: state[k] for k in _ARRAY_FIELDS},
     )
 
 
-def load_index(path: str) -> FITingTree:
-    """Rebuild a FITing-Tree saved by :func:`save_index`."""
+def load_index(path: str) -> PagedIndexBase:
+    """Rebuild a paged index saved by :func:`save_index`.
+
+    Loads both format version 2 (generic snapshot) and the legacy
+    FITingTree-only version 1 layout.
+    """
     with np.load(path) as archive:
         meta: Dict[str, Any] = json.loads(bytes(archive["meta"]).decode())
-        if meta.get("format_version") != _FORMAT_VERSION:
+        fmt = meta.get("format_version")
+        if fmt not in (1, 2):
             raise InvalidParameterError(
-                f"unsupported index file version: {meta.get('format_version')}"
+                f"unsupported index file version: {fmt}"
             )
-        data_keys = archive["data_keys"]
-        data_values = archive["data_values"]
-        starts = archive["starts"]
-        seqs = archive["seqs"]
-        slopes = archive["slopes"]
-        lengths = archive["lengths"]
-        deletions = archive["deletions"]
-        buf_keys = archive["buf_keys"]
-        buf_values = archive["buf_values"]
-        buf_lengths = archive["buf_lengths"]
-
-    index = FITingTree(
-        error=meta["error"],
-        buffer_capacity=meta["buffer_capacity"],
-        accept=meta["accept"],
-        search=meta["search"],
-        branching=meta["branching"],
-        fill=meta["fill"],
-    )
-    index._auto_rowid = meta["auto_rowid"]
-    index._next_rowid = meta["next_rowid"]
-    index._values_dtype = np.dtype(meta["values_dtype"])
-
-    pairs = []
-    offset = 0
-    buf_offset = 0
-    for i in range(len(starts)):
-        end = offset + int(lengths[i])
-        page = SegmentPage(
-            float(starts[i]),
-            float(slopes[i]),
-            data_keys[offset:end].copy(),
-            data_values[offset:end].copy(),
-        )
-        page.deletions = int(deletions[i])
-        buf_end = buf_offset + int(buf_lengths[i])
-        page.buf_keys = [float(k) for k in buf_keys[buf_offset:buf_end]]
-        page.buf_values = list(buf_values[buf_offset:buf_end])
-        pairs.append(((float(starts[i]), float(seqs[i])), page))
-        offset = end
-        buf_offset = buf_end
-
-    if pairs:
-        index._tree.bulk_load(pairs, fill=meta["fill"])
-    index._n = meta["n"]
-    index._dirty = True
-    return index
+        state: Dict[str, Any] = {
+            k: archive[k] for k in _ARRAY_FIELDS if k in archive
+        }
+    if fmt == 1:
+        # Legacy layout: FITingTree only, ctor params inline in the meta.
+        state["index_cls"] = "FITingTree"
+        state["params"] = {
+            k: meta[k]
+            for k in ("error", "buffer_capacity", "accept", "search",
+                      "branching", "fill")
+        }
+        state["version"] = 1
+    else:
+        state["index_cls"] = meta["index_cls"]
+        state["params"] = meta["params"]
+        state["version"] = meta["version"]
+    for k in ("n", "auto_rowid", "next_rowid", "values_dtype"):
+        state[k] = meta[k]
+    return index_from_state(state)

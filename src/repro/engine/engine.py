@@ -122,9 +122,18 @@ class ShardedEngine:
             for a, b in shard_bounds(keys, self.cuts)
         ]
         self._counter: Any = None
-        self._view_stats: Dict[str, int] = {"view_hits": 0, "view_builds": 0}
+        self._view_stats: Dict[str, int] = {
+            "view_hits": 0,
+            "view_builds": 0,
+            "view_patches": 0,
+            "view_full_rebuilds": 0,
+        }
         self._combined: Optional[FlatView] = None
         self._combined_versions: Optional[Tuple[int, ...]] = None
+        #: Page count per shard at the last combined assembly — the
+        #: geometry the incremental patch path needs to locate one
+        #: shard's slice inside the combined arrays.
+        self._combined_shard_pages: Optional[List[int]] = None
         self._stale_reads = 0
 
     # ------------------------------------------------------------------
@@ -154,6 +163,16 @@ class ShardedEngine:
     def shards(self) -> List[Any]:
         """The per-shard indexes (read-only use; mutate via the engine)."""
         return list(self._shards)
+
+    def shard_versions(self) -> Tuple[int, ...]:
+        """Per-shard monotonic version stamps (one per shard, in order).
+
+        The engine-agnostic observation point for "did any shard mutate":
+        the stateful suites pin empty-batch no-ops on it, and it is the
+        same surface :class:`repro.cluster.ClusterEngine` maintains from
+        worker replies, so tests written against it run on either engine.
+        """
+        return tuple(s.version for s in self._shards)
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._shards)
@@ -191,6 +210,8 @@ class ShardedEngine:
             "view_hits": views["view_hits"],
             "view_builds": views["view_builds"],
             "view_hit_rate": views["view_hits"] / touches if touches else 0.0,
+            "view_patches": views["view_patches"],
+            "view_full_rebuilds": views["view_full_rebuilds"],
             "shards": per_shard,
         }
 
@@ -215,9 +236,43 @@ class ShardedEngine:
     # Routing
     # ------------------------------------------------------------------
 
+    #: Per-shard reads share this engine's caches and stats dicts, so
+    #: concurrent threads must not dispatch them in parallel here (the
+    #: multi-process :class:`repro.cluster.ClusterEngine` flips this on).
+    shard_dispatch_safe = False
+
     def shard_for(self, key: float) -> Any:
         """The shard index owning ``key``."""
         return self._shards[int(route(self.cuts, [key])[0])]
+
+    def route_shards(self, queries) -> np.ndarray:
+        """Owning shard id per query key (vectorized; the split the serve
+        layer's per-shard dispatch tasks use)."""
+        return route(self.cuts, np.asarray(queries, dtype=np.float64))
+
+    def get_batch_shard(self, sid: int, queries, default: Any = None) -> np.ndarray:
+        """One shard's sub-batch, answered through that shard's view alone.
+
+        Parameters
+        ----------
+        sid:
+            Shard id (``0 <= sid < n_shards``); every query must route
+            here for results to be meaningful.
+        queries:
+            This shard's key sub-batch (float64-coercible).
+        default:
+            Miss filler, as in :meth:`get_batch`.
+
+        Returns
+        -------
+        numpy.ndarray
+            One value per query, exactly as :meth:`get_batch` would fill
+            those slots.
+        """
+        q = np.ascontiguousarray(queries, dtype=np.float64)
+        if q.size == 0:
+            return np.empty(0, dtype=object)
+        return self._view(sid).get_batch(q, default, counter=self._counter)
 
     def warm(self) -> None:
         """Best-effort pre-build of the cached read-path snapshots.
@@ -239,16 +294,22 @@ class ShardedEngine:
         """Engine-wide FlatView spanning every shard's pages, or ``None``
         when shard configs are heterogeneous (mixed error bounds/dtypes).
 
-        Assembled by concatenating the cached per-shard views, so a write
-        invalidates (and re-flattens, the expensive Python-level walk) only
-        its own shard; reassembly here is pure ``np.concatenate`` memcpy.
-        Once assembled, every shard's cached view is re-pointed at a
-        zero-copy slice of the combined arrays (``FlatView.slice_pages``),
-        so steady-state residency is pages + one combined copy (~2x), not
-        pages + per-shard copies + combined (~3x); see
-        :meth:`residency_report`. Shard ranges are disjoint and ordered,
-        so the concatenated page starts and data stay globally sorted and
-        one view answers a whole batch without per-shard grouping.
+        Maintenance is incremental: when exactly one shard mutated since
+        the last assembly, only that shard's slice of the combined arrays
+        is re-spliced (:meth:`_patch_combined`, a three-way memcpy —
+        prefix from the old combined, the dirty shard's fresh view, the
+        suffix shifted); every other shard's data, routing keys and
+        offsets are reused untouched. Multi-shard mutations (or the first
+        build) fall back to the full per-shard concatenation. Both paths
+        are counted (``view_patches`` / ``view_full_rebuilds`` in
+        :meth:`stats`) and produce identical views — pinned by the
+        incremental-view regression suite. Once assembled, every shard's
+        cached view is re-pointed at a zero-copy slice of the combined
+        arrays (``FlatView.slice_pages``), so steady-state residency is
+        pages + one combined copy (~2x); see :meth:`residency_report`.
+        Shard ranges are disjoint and ordered, so the concatenated page
+        starts and data stay globally sorted and one view answers a whole
+        batch without per-shard grouping.
         """
         versions = tuple(s.version for s in self._shards)
         if self._combined_versions == versions:
@@ -261,73 +322,190 @@ class ShardedEngine:
             and self._stale_reads < _STALE_READS_BEFORE_REBUILD
         ):
             # A write just landed. Reassembling the combined view is an
-            # O(total data) concatenation; under a write/read interleave
+            # O(total data) splice/concat; under a write/read interleave
             # that would be paid every batch. Serve a few batches through
             # the grouped per-shard path (only dirty shards re-flatten)
             # and reassemble once the spend amortizes over enough reads.
             self._stale_reads += 1
             return None
         self._stale_reads = 0
+        combined = self._patch_combined(versions)
+        if combined is None:
+            combined = self._assemble_combined(versions)
+        self._combined = combined
+        self._combined_versions = versions
+        return combined
+
+    def _assemble_combined(self, versions: Tuple[int, ...]) -> Optional[FlatView]:
+        """Full combined-view assembly: concatenate every shard's view."""
         views = [self._view(i) for i in range(len(self._shards))]
         if (
             len({v.search_error for v in views}) > 1
             or len({v.values.dtype for v in views}) > 1
         ):
-            combined = None
-        elif len(views) == 1:
-            combined = views[0]
-        else:
-            data_total = 0
-            buf_total = 0
-            offset_parts = []
-            buf_offset_parts = []
-            route_parts = []
-            for i, v in enumerate(views):
-                offset_parts.append(v.offsets[:-1] + data_total)
-                buf_offset_parts.append(v.buf_offsets[:-1] + buf_total)
-                data_total += int(v.offsets[-1])
-                buf_total += int(v.buf_offsets[-1])
-                rs = v.route_starts
-                if i > 0 and rs.size:
-                    # Lower the shard's first routing key to its cut so
-                    # queries in [cut, first page start) route into this
-                    # shard — exactly where scalar engine routing buffers
-                    # and probes them.
-                    rs = rs.copy()
-                    rs[0] = self.cuts[i - 1]
-                route_parts.append(rs)
-            offset_parts.append(np.asarray([data_total], dtype=np.int64))
-            buf_offset_parts.append(np.asarray([buf_total], dtype=np.int64))
-            combined = FlatView(
-                {
-                    "version": -1,  # never matched; engine caches by shard versions
-                    "search_error": views[0].search_error,
-                    "heights": np.concatenate([v.heights for v in views]),
-                    "starts": np.concatenate([v.starts for v in views]),
-                    "route_starts": np.concatenate(route_parts),
-                    "slopes": np.concatenate([v.slopes for v in views]),
-                    "deletions": np.concatenate([v.deletions for v in views]),
-                    "offsets": np.concatenate(offset_parts),
-                    "keys": np.concatenate([v.keys for v in views]),
-                    "values": np.concatenate([v.values for v in views]),
-                    "buf_offsets": np.concatenate(buf_offset_parts),
-                    "buf_keys": np.concatenate([v.buf_keys for v in views]),
-                    "buf_values": np.concatenate([v.buf_values for v in views]),
-                }
-            )
-        self._combined = combined
-        self._combined_versions = versions
-        if combined is not None and len(views) > 1:
-            # Collapse per-shard residency: each shard's cached view
-            # becomes a window into the combined arrays. The fresh copies
-            # flat_view() just built for dirty shards are dropped here, so
-            # only pages + combined stay resident (~2x).
-            p0 = 0
-            for shard, view, version in zip(self._shards, views, versions):
-                p1 = p0 + view.n_pages
-                shard._flat_view_cache = combined.slice_pages(p0, p1, version)
-                p0 = p1
+            self._combined_shard_pages = None
+            return None
+        if len(views) == 1:
+            self._combined_shard_pages = [views[0].n_pages]
+            return views[0]
+        self._view_stats["view_full_rebuilds"] += 1
+        data_total = 0
+        buf_total = 0
+        offset_parts = []
+        buf_offset_parts = []
+        route_parts = []
+        for i, v in enumerate(views):
+            offset_parts.append(v.offsets[:-1] + data_total)
+            buf_offset_parts.append(v.buf_offsets[:-1] + buf_total)
+            data_total += int(v.offsets[-1])
+            buf_total += int(v.buf_offsets[-1])
+            rs = v.route_starts
+            if i > 0 and rs.size:
+                # Lower the shard's first routing key to its cut so
+                # queries in [cut, first page start) route into this
+                # shard — exactly where scalar engine routing buffers
+                # and probes them.
+                rs = rs.copy()
+                rs[0] = self.cuts[i - 1]
+            route_parts.append(rs)
+        offset_parts.append(np.asarray([data_total], dtype=np.int64))
+        buf_offset_parts.append(np.asarray([buf_total], dtype=np.int64))
+        combined = FlatView(
+            {
+                "version": -1,  # never matched; engine caches by shard versions
+                "search_error": views[0].search_error,
+                "heights": np.concatenate([v.heights for v in views]),
+                "starts": np.concatenate([v.starts for v in views]),
+                "route_starts": np.concatenate(route_parts),
+                "slopes": np.concatenate([v.slopes for v in views]),
+                "deletions": np.concatenate([v.deletions for v in views]),
+                "offsets": np.concatenate(offset_parts),
+                "keys": np.concatenate([v.keys for v in views]),
+                "values": np.concatenate([v.values for v in views]),
+                "buf_offsets": np.concatenate(buf_offset_parts),
+                "buf_keys": np.concatenate([v.buf_keys for v in views]),
+                "buf_values": np.concatenate([v.buf_values for v in views]),
+            }
+        )
+        self._combined_shard_pages = [v.n_pages for v in views]
+        # Collapse per-shard residency: each shard's cached view becomes
+        # a window into the combined arrays. The fresh copies flat_view()
+        # just built for dirty shards are dropped here, so only pages +
+        # combined stay resident (~2x).
+        self._repoint_shard_caches(combined, versions)
         return combined
+
+    def _patch_combined(self, versions: Tuple[int, ...]) -> Optional[FlatView]:
+        """Incremental assembly: splice one dirty shard into the combined.
+
+        Applicable when a combined view exists and exactly one shard's
+        version moved since it was assembled (the common write pattern —
+        the serve layer's insert batches land on one shard far more often
+        than on several). The clean shards' slices are copied straight
+        from the old combined arrays (two memcpys bracketing the dirty
+        shard's fresh view) instead of re-walking every shard's cached
+        view, re-lowering its routing keys and re-rebasing its offsets.
+        Returns ``None`` when not applicable (first build, multiple dirty
+        shards, heterogeneous configs) — the caller falls back to
+        :meth:`_assemble_combined`.
+        """
+        old = self._combined
+        if (
+            old is None
+            or self._combined_versions is None
+            or self._combined_shard_pages is None
+            or len(self._shards) <= 1
+            or len(self._combined_versions) != len(versions)
+        ):
+            return None
+        dirty = [
+            i
+            for i, (was, now) in enumerate(zip(self._combined_versions, versions))
+            if was != now
+        ]
+        if len(dirty) != 1:
+            return None
+        i = dirty[0]
+        new = self._view(i)
+        if (
+            new.search_error != old.search_error
+            or new.values.dtype != old.values.dtype
+        ):
+            return None
+        pages = self._combined_shard_pages
+        p0 = sum(pages[:i])
+        p1 = p0 + pages[i]
+        d0, d1 = int(old.offsets[p0]), int(old.offsets[p1])
+        b0, b1 = int(old.buf_offsets[p0]), int(old.buf_offsets[p1])
+        rs = new.route_starts
+        if i > 0 and rs.size:
+            rs = rs.copy()
+            rs[0] = self.cuts[i - 1]  # same cut lowering as the full path
+        d_shift = new.keys.size - (d1 - d0)
+        b_shift = new.buf_keys.size - (b1 - b0)
+        combined = FlatView(
+            {
+                "version": -1,
+                "search_error": old.search_error,
+                "heights": np.concatenate(
+                    (old.heights[:p0], new.heights, old.heights[p1:])
+                ),
+                "starts": np.concatenate(
+                    (old.starts[:p0], new.starts, old.starts[p1:])
+                ),
+                "route_starts": np.concatenate(
+                    (old.route_starts[:p0], rs, old.route_starts[p1:])
+                ),
+                "slopes": np.concatenate(
+                    (old.slopes[:p0], new.slopes, old.slopes[p1:])
+                ),
+                "deletions": np.concatenate(
+                    (old.deletions[:p0], new.deletions, old.deletions[p1:])
+                ),
+                "offsets": np.concatenate(
+                    (
+                        old.offsets[: p0 + 1],
+                        new.offsets[1:] + d0,
+                        old.offsets[p1 + 1 :] + d_shift,
+                    )
+                ),
+                "keys": np.concatenate((old.keys[:d0], new.keys, old.keys[d1:])),
+                "values": np.concatenate(
+                    (old.values[:d0], new.values, old.values[d1:])
+                ),
+                "buf_offsets": np.concatenate(
+                    (
+                        old.buf_offsets[: p0 + 1],
+                        new.buf_offsets[1:] + b0,
+                        old.buf_offsets[p1 + 1 :] + b_shift,
+                    )
+                ),
+                "buf_keys": np.concatenate(
+                    (old.buf_keys[:b0], new.buf_keys, old.buf_keys[b1:])
+                ),
+                "buf_values": np.concatenate(
+                    (old.buf_values[:b0], new.buf_values, old.buf_values[b1:])
+                ),
+            }
+        )
+        self._combined_shard_pages = list(pages)
+        self._combined_shard_pages[i] = new.n_pages
+        self._view_stats["view_patches"] += 1
+        self._repoint_shard_caches(combined, versions)
+        return combined
+
+    def _repoint_shard_caches(
+        self, combined: FlatView, versions: Tuple[int, ...]
+    ) -> None:
+        """Re-point every shard's cached view at its slice of ``combined``
+        (so nothing keeps the pre-assembly array copies alive)."""
+        p0 = 0
+        for shard, n_pages, version in zip(
+            self._shards, self._combined_shard_pages, versions
+        ):
+            p1 = p0 + n_pages
+            shard._flat_view_cache = combined.slice_pages(p0, p1, version)
+            p0 = p1
 
     def residency_report(self) -> Dict[str, Any]:
         """Bytes resident per storage tier of the read path.

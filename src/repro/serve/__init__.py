@@ -27,13 +27,16 @@ awaits vs batched serving) and writes ``BENCH_serve.json``.
 
 from repro.serve.batcher import RequestBatcher
 from repro.serve.errors import ServerClosedError, ServerOverloadedError
+from repro.serve.protocol import BatchEngine, ShardDispatchEngine
 from repro.serve.server import Server
 from repro.serve.stats import LatencySeries
 
 __all__ = [
+    "BatchEngine",
     "LatencySeries",
     "RequestBatcher",
     "Server",
     "ServerClosedError",
     "ServerOverloadedError",
+    "ShardDispatchEngine",
 ]

@@ -51,11 +51,14 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - type-checker-only import
+    from repro.serve.protocol import BatchEngine  # noqa: F401
 
 __all__ = ["RequestBatcher"]
 
@@ -113,6 +116,20 @@ class RequestBatcher:
         Optional ``concurrent.futures.Executor`` the dispatch calls run on
         (``None`` = inline on the event loop). Must be single-worker: the
         engine is not thread-safe.
+    shard_executor:
+        Optional *multi-worker* executor for per-shard read dispatch.
+        When set — and the engine advertises
+        ``shard_dispatch_safe = True`` with ``route_shards`` /
+        ``get_batch_shard`` (see
+        :class:`~repro.serve.protocol.ShardDispatchEngine`) — a get
+        flush splits its batch by owning shard and answers the shards as
+        independent event-loop tasks gathered under the same fence:
+        sub-batches overlap in time (real parallelism over a
+        :class:`~repro.cluster.ClusterEngine`, whose workers compute in
+        separate processes), while the flush-cycle ordering — reads,
+        then inserts, then barriered reads — is untouched. Reads are
+        idempotent, so any failure on this path falls back to the
+        ordinary whole-batch dispatch.
     observer:
         Optional ``f(kind, latencies)`` called at each dispatch's fan-out
         with the list of end-to-end latencies (seconds) of the requests
@@ -125,12 +142,13 @@ class RequestBatcher:
 
     def __init__(
         self,
-        engine: Any,
+        engine: "BatchEngine",
         *,
         max_batch: int = 1024,
         max_delay: float = 0.002,
         eager_flush: bool = True,
         executor: Any = None,
+        shard_executor: Any = None,
         observer: Optional[Callable[[str, List[float]], None]] = None,
     ) -> None:
         if max_batch < 1:
@@ -146,6 +164,13 @@ class RequestBatcher:
         self.max_delay = float(max_delay)
         self.eager_flush = bool(eager_flush)
         self._executor = executor
+        self._shard_executor = shard_executor
+        self._shard_dispatch = bool(
+            shard_executor is not None
+            and getattr(engine, "shard_dispatch_safe", False)
+            and hasattr(engine, "route_shards")
+            and hasattr(engine, "get_batch_shard")
+        )
         self._observer = observer
         # Per-request enqueue timestamps exist only to feed the observer;
         # with no observer installed the clock reads are skipped entirely
@@ -182,6 +207,7 @@ class RequestBatcher:
             "ops": {"get": 0, "range": 0, "insert": 0},
             "max_batch_observed": 0,
             "scalar_fallbacks": 0,
+            "shard_dispatches": 0,
             "barrier_held": 0,
             "barrier_version": None,
         }
@@ -471,6 +497,57 @@ class RequestBatcher:
         if observer is not None:
             observer(kind, latencies)
 
+    async def _dispatch_gets_sharded(self, chunk: List[Tuple]) -> bool:
+        """Answer one get chunk as concurrent per-shard tasks.
+
+        Splits the chunk by owning shard (``engine.route_shards``) and
+        runs one ``engine.get_batch_shard`` per shard on the multi-worker
+        shard executor, gathered before the flush cycle moves on — the
+        sub-batches overlap in time but stay inside this cycle's fence.
+        Returns False (without resolving anything) when the chunk cannot
+        take this path — unroutable keys, or any dispatch failure; reads
+        are idempotent, so the caller just falls through to the ordinary
+        whole-batch dispatch.
+        """
+        engine = self.engine
+        try:
+            q = np.asarray([op[0] for op in chunk], dtype=np.float64)
+            sid = engine.route_shards(q)
+        except Exception:
+            return False
+        loop = asyncio.get_running_loop()
+        groups: List[np.ndarray] = []
+        futures = []
+        for s in np.unique(sid):
+            idx = np.flatnonzero(sid == s)
+            groups.append(idx)
+            futures.append(
+                loop.run_in_executor(
+                    self._shard_executor,
+                    engine.get_batch_shard,
+                    int(s),
+                    q[idx],
+                    _MISS,
+                )
+            )
+        try:
+            results = await asyncio.gather(*futures)
+        except Exception:
+            await asyncio.gather(*futures, return_exceptions=True)
+            return False
+        values: List[Any] = [None] * len(chunk)
+        for idx, res in zip(groups, results):
+            if res.dtype == object:
+                for pos, slot in enumerate(idx.tolist()):
+                    v = res[pos]
+                    values[slot] = chunk[slot][1] if v is _MISS else v
+            else:
+                for pos, slot in enumerate(idx.tolist()):
+                    values[slot] = res[pos]
+        self._stats["shard_dispatches"] += 1
+        self._fan_out(chunk, "get", values)
+        return True
+
     async def _dispatch_gets(self, ops: List[Tuple]) -> None:
         engine = self.engine
         for chunk in self._chunks(ops):
@@ -483,6 +560,8 @@ class RequestBatcher:
                     self._reject(chunk[0], "get", exc)
                 else:
                     self._resolve(chunk[0], "get", value)
+                continue
+            if self._shard_dispatch and await self._dispatch_gets_sharded(chunk):
                 continue
             try:
                 q = np.asarray([op[0] for op in chunk], dtype=np.float64)

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.errors import InvalidParameterError
 from repro.serve.batcher import RequestBatcher
 from repro.serve.errors import ServerClosedError, ServerOverloadedError
+from repro.serve.protocol import BatchEngine
 from repro.serve.stats import LatencySeries
 
 __all__ = ["Server"]
@@ -45,8 +46,11 @@ class Server:
     Parameters
     ----------
     engine:
-        The index being served — a :class:`~repro.engine.ShardedEngine`
-        (or any object with the same scalar + batch verbs).
+        The index being served — anything satisfying the
+        :class:`~repro.serve.protocol.BatchEngine` protocol: a
+        :class:`~repro.engine.ShardedEngine`, a multi-process
+        :class:`~repro.cluster.ClusterEngine`, or any object with the
+        same scalar + batch verbs.
     max_batch, max_delay, eager_flush:
         Batching knobs, passed to
         :class:`~repro.serve.batcher.RequestBatcher`; ``max_batch=1``
@@ -62,6 +66,15 @@ class Server:
         ``None`` (dispatch inline on the event loop), ``"thread"`` (the
         server owns a single worker thread and shuts it down on close), or
         a caller-supplied single-worker ``concurrent.futures.Executor``.
+    shard_concurrency:
+        When > 0 and the engine supports safe per-shard dispatch
+        (``shard_dispatch_safe``, e.g. a
+        :class:`~repro.cluster.ClusterEngine` whose shards live in
+        separate processes), the server owns a thread pool of this many
+        workers and the batcher answers each get flush's shards as
+        concurrent tasks under the same fence — shard sub-batches overlap
+        in time. ``0`` (default) keeps whole-batch dispatch. Engines
+        without shard dispatch ignore the setting.
     latency_window:
         Samples retained per operation kind for the percentile stats;
         ``0`` disables server-side latency sampling entirely (the
@@ -72,7 +85,7 @@ class Server:
 
     def __init__(
         self,
-        engine: Any,
+        engine: BatchEngine,
         *,
         max_batch: int = 1024,
         max_delay: float = 0.002,
@@ -80,6 +93,7 @@ class Server:
         max_pending: Optional[int] = None,
         overload: str = "wait",
         executor: Any = None,
+        shard_concurrency: int = 0,
         latency_window: int = 100_000,
     ) -> None:
         if overload not in ("wait", "reject"):
@@ -103,6 +117,16 @@ class Server:
                 f"Executor, got {executor!r}"
             )
         self._executor = executor
+        if shard_concurrency < 0:
+            raise InvalidParameterError(
+                f"shard_concurrency must be >= 0, got {shard_concurrency}"
+            )
+        self._shard_executor: Optional[Executor] = None
+        if shard_concurrency > 0:
+            self._shard_executor = ThreadPoolExecutor(
+                max_workers=shard_concurrency,
+                thread_name_prefix="repro-serve-shard",
+            )
         self._latency: Dict[str, LatencySeries] = {
             kind: LatencySeries(max(latency_window, 1))
             for kind in ("get", "range", "insert")
@@ -113,6 +137,7 @@ class Server:
             max_delay=max_delay,
             eager_flush=eager_flush,
             executor=executor,
+            shard_executor=self._shard_executor,
             observer=self._observe if latency_window > 0 else None,
         )
         self._max_pending = max_pending
@@ -149,6 +174,8 @@ class Server:
         await self._batcher.drain()
         if self._owns_executor:
             self._executor.shutdown(wait=True)
+        if self._shard_executor is not None:
+            self._shard_executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "Server":
         return self

@@ -1,0 +1,39 @@
+"""Shared helpers for the cluster suite.
+
+Every ClusterEngine here is created through the ``cluster`` context helper
+so worker processes are always joined, even on assertion failures —
+leaked daemons would distort later tests' timings.
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.cluster import ClusterEngine
+
+
+@contextmanager
+def cluster(*args, **kwargs):
+    engine = ClusterEngine(*args, **kwargs)
+    try:
+        yield engine
+    finally:
+        engine.close()
+
+
+def assert_batches_equal(got, want, context=""):
+    """Bit-identical batch results: same dtype, same per-slot values
+    (object slots compared by equality, identity for sentinels).
+
+    Empty batches skip the dtype check: the in-process engine's empty
+    result dtype depends on cache state (combined vs grouped read path),
+    which is not a contract worth pinning.
+    """
+    got = np.asarray(got)
+    want = np.asarray(want)
+    if len(got) == 0 and len(want) == 0:
+        return
+    assert got.dtype == want.dtype, f"{context}: dtype {got.dtype} != {want.dtype}"
+    assert len(got) == len(want), f"{context}: length {len(got)} != {len(want)}"
+    for i, (g, w) in enumerate(zip(got, want)):
+        assert (g is w) or g == w, f"{context}: slot {i}: {g!r} != {w!r}"

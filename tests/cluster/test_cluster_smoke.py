@@ -1,0 +1,48 @@
+"""The CI smoke: a 2-worker cluster serves correctly, quickly, and exits.
+
+This file is what the CI workflow runs under its own step timeout — it
+must stay fast (a couple of engine builds, small batches) while touching
+the whole lifecycle: spawn, reads, writes with the fence, bit-identical
+verification against the in-process twin, stats, clean shutdown.
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterEngine
+from repro.engine import ShardedEngine
+
+
+def test_two_worker_smoke():
+    keys = np.sort(np.random.default_rng(0).uniform(0, 1e6, 20_000))
+    twin = ShardedEngine(keys, n_shards=2, error=64, buffer_capacity=32)
+    engine = ClusterEngine.from_engine(twin)
+    try:
+        assert engine.n_shards == 2
+        engine.warm()
+
+        rng = np.random.default_rng(1)
+        queries = np.concatenate([
+            keys[rng.integers(0, len(keys), 2_000)],
+            rng.uniform(-100, 1e6 + 100, 500),
+        ])
+        got = engine.get_batch(queries, default=None)
+        want = twin.get_batch(queries, default=None)
+        assert got.dtype == want.dtype
+        assert all((g is None and w is None) or g == w
+                   for g, w in zip(got, want))
+
+        inserts = rng.uniform(0, 1e6, 1_000)
+        twin.insert_batch(inserts)
+        engine.insert_batch(inserts)
+        assert engine.version == twin.version
+        assert engine.get_batch(inserts).tolist() == twin.get_batch(
+            inserts
+        ).tolist()
+
+        stats = engine.stats()
+        assert stats["n"] == len(keys) + 1_000
+        assert all(w["alive"] for w in stats["workers"])
+        engine.validate()
+    finally:
+        engine.close()
+    assert all(not w.process.is_alive() for w in engine._workers)

@@ -1,0 +1,110 @@
+"""Stateful lock-step testing: ClusterEngine vs its ShardedEngine twin.
+
+Hypothesis drives arbitrary interleavings of ``insert_batch`` /
+``get_batch`` / ``range_batch`` (plus scalar mirrors) against *both*
+engines at once — the strongest form of the cluster's contract: after any
+operation sequence, batch results, version stamps and element counts are
+bit-identical to the in-process engine. The key domain is small so batches
+routinely carry duplicates and straddle shard cuts; empty batches are
+generated explicitly (the strict-no-op contract). Example counts are kept
+modest because every machine run spawns real worker processes.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from helpers import assert_batches_equal
+from repro.cluster import ClusterEngine
+from repro.engine import ShardedEngine
+
+KEYS = st.integers(min_value=0, max_value=120).map(float)
+BATCHES = st.lists(KEYS, min_size=0, max_size=25)
+
+
+class ClusterLockstepMachine(RuleBasedStateMachine):
+    @initialize(
+        build_keys=st.lists(KEYS, max_size=80).map(sorted),
+        n_shards=st.integers(min_value=1, max_value=3),
+        error=st.integers(min_value=8, max_value=40),
+    )
+    def build(self, build_keys, n_shards, error):
+        self.twin = ShardedEngine(
+            np.asarray(build_keys, dtype=np.float64),
+            n_shards=n_shards,
+            error=error,
+            buffer_capacity=max(1, error // 3),
+        )
+        self.engine = ClusterEngine.from_engine(self.twin)
+
+    @rule(batch=BATCHES)
+    def insert_batch(self, batch):
+        keys = np.asarray(batch, dtype=np.float64)
+        versions = self.engine.shard_versions()
+        self.twin.insert_batch(keys)
+        self.engine.insert_batch(keys)
+        if not batch:
+            assert self.engine.shard_versions() == versions
+        assert self.engine.version == self.twin.version
+
+    @rule(batch=BATCHES)
+    def insert_batch_boundary_keys(self, batch):
+        """Batches biased onto the shard cuts (and one key to either
+        side), the routing edge the partition contract pins."""
+        cuts = self.engine.cuts
+        if cuts.size == 0 or not batch:
+            return
+        keys = np.asarray(
+            [
+                float(cuts[i % cuts.size]) + (i % 3 - 1)
+                for i in range(len(batch))
+            ],
+            dtype=np.float64,
+        )
+        self.twin.insert_batch(keys)
+        self.engine.insert_batch(keys)
+
+    @rule(queries=st.lists(KEYS, min_size=0, max_size=20))
+    def get_batch_agrees(self, queries):
+        q = np.asarray(queries, dtype=np.float64)
+        assert_batches_equal(
+            self.engine.get_batch(q, default=-1),
+            self.twin.get_batch(q, default=-1),
+        )
+
+    @rule(key=KEYS)
+    def scalar_get_agrees(self, key):
+        assert (key in self.engine) == (key in self.twin)
+
+    @rule(lo=KEYS, span=st.integers(min_value=0, max_value=40))
+    def range_agrees(self, lo, span):
+        got = self.engine.range_batch(np.asarray([[lo, lo + span]]))
+        want = self.twin.range_batch(np.asarray([[lo, lo + span]]))
+        assert got[0][0].tolist() == want[0][0].tolist()
+        assert got[0][1].tolist() == want[0][1].tolist()
+
+    @invariant()
+    def sizes_and_versions_agree(self):
+        if hasattr(self, "engine"):
+            assert len(self.engine) == len(self.twin)
+            assert self.engine.version == self.twin.version
+
+    def teardown(self):
+        if hasattr(self, "engine"):
+            try:
+                self.engine.validate()
+                self.twin.validate()
+            finally:
+                self.engine.close()
+
+
+TestClusterLockstep = ClusterLockstepMachine.TestCase
+TestClusterLockstep.settings = settings(
+    max_examples=8, stateful_step_count=15, deadline=None
+)

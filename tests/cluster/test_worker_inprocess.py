@@ -1,0 +1,159 @@
+"""The worker's dispatch machinery, driven in-process.
+
+The subprocess suites prove the end-to-end behavior; this file exercises
+``_ShardServer`` / ``_dispatch`` directly (no fork) so the protocol's
+branches — shm replies, pickle fallbacks, lane re-attachment, per-verb
+errors — are pinned at unit granularity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.shm import ShmLane
+from repro.cluster.worker import _MISS, _dispatch, _ShardServer
+from repro.core.errors import InvalidParameterError
+from repro.core.fiting_tree import FITingTree
+
+
+@pytest.fixture
+def lanes():
+    req, resp = ShmLane(capacity=1 << 16), ShmLane(capacity=1 << 16)
+    yield req, resp
+    req.close()
+    resp.close()
+
+
+def make_server(keys=None, lo=None, hi=None, **kwargs):
+    kwargs.setdefault("error", 32)
+    kwargs.setdefault("buffer_capacity", 8)
+    index = FITingTree(keys, **kwargs)
+    return _ShardServer(index.to_state(), lo, hi)
+
+
+class TestVerbs:
+    def test_get_batch_all_hits_skips_mask(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(100, dtype=np.float64))
+        q_descr = req.write([np.asarray([3.0, 7.0])])[0]
+        frame = ("get_batch", (req.name, resp.name), q_descr)
+        kind, version, payload = _dispatch(server, frame)
+        assert kind == "ok" and version == server.index.version
+        mode, value_descrs, mask_descr = payload
+        assert mode == "shm" and mask_descr is None  # all-hit fast shape
+        assert resp.read(value_descrs)[0].tolist() == [3, 7]
+
+    def test_get_batch_misses_carry_mask(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(100, dtype=np.float64))
+        q_descr = req.write([np.asarray([3.0, 1e9])])[0]
+        _, _, payload = _dispatch(
+            server, ("get_batch", (req.name, resp.name), q_descr)
+        )
+        mode, value_descrs, mask_descr = payload
+        assert mode == "shm" and mask_descr is not None
+        mask = resp.read([mask_descr])[0].view(np.bool_)
+        assert mask.tolist() == [True, False]
+
+    def test_get_batch_object_payload_pickle_fallback(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(20, dtype=np.float64))
+        server.index.insert(3.5, ("not", "numeric"))  # buffered object
+        q_descr = req.write([np.asarray([3.5, 4.0, 99.0])])[0]
+        _, _, payload = _dispatch(
+            server, ("get_batch", (req.name, resp.name), q_descr)
+        )
+        mode, values, mask = payload
+        assert mode == "pickle"
+        assert values[0] == ("not", "numeric") and values[1] == 4
+        assert mask.tolist() == [True, True, False]
+
+    def test_insert_then_read_roundtrip(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(10, dtype=np.float64))
+        keys = np.asarray([2.5, 7.5])
+        values = np.asarray([100, 101], dtype=np.int64)
+        k_descr, v_descr = req.write([keys, values])
+        kind, version, _ = _dispatch(
+            server,
+            ("insert_batch", (req.name, resp.name), k_descr, v_descr, None),
+        )
+        assert kind == "ok" and version == server.index.version
+        assert server.index.get(2.5) == 100
+
+    def test_insert_pickled_values(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(10, dtype=np.float64))
+        k_descr = req.write([np.asarray([4.25])])[0]
+        _dispatch(
+            server,
+            ("insert_batch", (req.name, resp.name), k_descr, None, [123]),
+        )
+        assert server.index.get(4.25) == 123
+
+    def test_range_batch_shm_and_counts(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(100, dtype=np.float64))
+        los = np.asarray([10.0, 90.0])
+        his = np.asarray([12.0, 200.0])
+        descrs = req.write([los, his])
+        _, _, payload = _dispatch(
+            server, ("range_batch", (req.name, resp.name), descrs, True, True)
+        )
+        mode, reply_descrs, _dtype = payload
+        assert mode == "shm"
+        counts, all_keys, _values = resp.read(reply_descrs)
+        assert counts.tolist() == [3, 10]
+        assert all_keys[:3].tolist() == [10.0, 11.0, 12.0]
+
+    def test_range_overflow_pickle_fallback(self):
+        req = ShmLane(capacity=1 << 16)
+        resp = ShmLane(capacity=256)  # too small for the reply rows
+        try:
+            server = make_server(np.arange(2_000, dtype=np.float64))
+            descrs = req.write([np.asarray([0.0]), np.asarray([1_999.0])])
+            _, _, payload = _dispatch(
+                server,
+                ("range_batch", (req.name, resp.name), descrs, True, True),
+            )
+            assert payload[0] == "pickle"
+            (keys, values), = payload[1]
+            assert keys.size == 2_000
+        finally:
+            req.close()
+            resp.close()
+
+    def test_stats_warm_and_unknown_verb(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(50, dtype=np.float64))
+        kind, _, stats = _dispatch(server, ("stats",))
+        assert kind == "ok" and stats["n"] == 50
+        kind, _, payload = _dispatch(server, ("warm",))
+        assert kind == "ok" and payload is None
+        with pytest.raises(ValueError, match="unknown verb"):
+            _dispatch(server, ("explode",))
+
+    def test_validate_checks_cut_range(self):
+        server = make_server(np.arange(50, dtype=np.float64), lo=0.0, hi=40.0)
+        with pytest.raises(InvalidParameterError, match="at/above cut"):
+            server.validate()
+        ok = make_server(np.arange(50, dtype=np.float64), lo=0.0, hi=60.0)
+        ok.validate()
+
+    def test_lane_reattach_on_rename(self, lanes):
+        req, resp = lanes
+        server = make_server(np.arange(10, dtype=np.float64))
+        first = server.lane("req", req.name)
+        assert server.lane("req", req.name) is first  # cached by name
+        replacement = ShmLane(capacity=4096)
+        try:
+            second = server.lane("req", replacement.name)
+            assert second is not first
+        finally:
+            replacement.close()
+        server.close_lanes()
+
+    def test_miss_sentinel_is_private(self):
+        server = make_server(np.arange(5, dtype=np.float64))
+        result, found = server.get_batch(np.asarray([0.0, 77.0]))
+        assert found.tolist() == [True, False]
+        assert result[1] is _MISS  # never leaves the worker

@@ -50,11 +50,11 @@ class ShardedEngineMachine(RuleBasedStateMachine):
     @rule(batch=BATCHES)
     def insert_batch(self, batch):
         keys = np.asarray(batch, dtype=np.float64)
-        versions = tuple(s.version for s in self.engine._shards)
+        versions = self.engine.shard_versions()
         self.engine.insert_batch(keys)
         if not batch:
             # Empty batches must not touch shard state or consume row ids.
-            assert tuple(s.version for s in self.engine._shards) == versions
+            assert self.engine.shard_versions() == versions
             assert self.engine._next_rowid == self.next_rowid
             return
         for k in batch:

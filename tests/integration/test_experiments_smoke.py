@@ -38,6 +38,7 @@ def test_experiment_registry_complete():
         "a3",
         "abl_cone",
         "abl_branching",
+        "cluster",
         "engine",
         "serve",
     }
@@ -153,6 +154,29 @@ def test_engine(tmp_path):
     for row in insert_rows:
         assert row["baseline"] == "insert-per-key"
         assert row["speedup_vs_baseline"] > 0
+
+
+def test_cluster(tmp_path):
+    out = tmp_path / "BENCH_cluster.json"
+    result = rows_of(
+        "cluster", n=4_000, n_queries=1_000, batch_size=512,
+        workers=(1, 2), repeats=1, out=str(out),
+    )
+    assert {r["workload"] for r in result.rows} == {
+        "uniform-read", "skewed-read", "mixed",
+    }
+    assert {r["workers"] for r in result.rows} == {1, 2}
+    payload = json.loads(out.read_text())
+    assert payload["experiment"] == "cluster"
+    assert payload["params"]["cpu_count"] >= 1
+    for row in payload["rows"]:
+        # Correctness is the CI-checkable claim: every row was verified
+        # bit-identical before being recorded (the throughput bar is a
+        # bench-box property, meaningless at toy sizes / low core counts).
+        assert row["identical"] is True
+        assert row["ops_per_second"] > 0
+        if row["mode"] == "cluster":
+            assert row["speedup_vs_inproc"] > 0
 
 
 def test_engine_insert_params_respected(tmp_path):

@@ -1,0 +1,135 @@
+"""Per-shard concurrent dispatch: shards answered as overlapping tasks.
+
+The ROADMAP follow-on the cluster PR lands: a get flush no longer has to
+serialize shard sub-batches — with ``shard_concurrency`` set and a
+shard-dispatch-capable engine, each shard's slice is dispatched as its own
+task under the same fence. The key assertion here is *temporal*: two
+shards' sub-batches must actually overlap in time.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ShardedEngine
+from repro.serve import Server
+
+#: Sleep long enough that scheduling jitter cannot fake an overlap.
+_SHARD_SLEEP = 0.08
+
+
+class TwoShardEcho:
+    """A fake two-shard engine whose per-shard reads sleep and timestamp.
+
+    Keys < 100 live on shard 0, the rest on shard 1; every verb echoes
+    the key back so results stay checkable.
+    """
+
+    shard_dispatch_safe = True
+    version = 0
+
+    def __init__(self, fail_shard_dispatch=False):
+        self.intervals = []
+        self.fail_shard_dispatch = fail_shard_dispatch
+        self.whole_batches = 0
+
+    def route_shards(self, queries):
+        return (np.asarray(queries, dtype=np.float64) >= 100).astype(np.int64)
+
+    def get_batch_shard(self, sid, queries, default=None):
+        if self.fail_shard_dispatch:
+            raise RuntimeError("shard transport down")
+        start = time.perf_counter()
+        time.sleep(_SHARD_SLEEP)
+        self.intervals.append((sid, start, time.perf_counter()))
+        return np.asarray(queries, dtype=np.float64)
+
+    def get_batch(self, queries, default=None):
+        self.whole_batches += 1
+        return np.asarray(queries, dtype=np.float64)
+
+    def get(self, key, default=None):
+        return float(key)
+
+
+async def _submit_both_shards(server, n_per_shard=4):
+    low = [server.get(float(k)) for k in range(n_per_shard)]
+    high = [server.get(float(200 + k)) for k in range(n_per_shard)]
+    return await asyncio.gather(*low, *high)
+
+
+class TestOverlap:
+    def test_two_shards_overlap_in_time(self):
+        engine = TwoShardEcho()
+
+        async def main():
+            async with Server(engine, shard_concurrency=2) as server:
+                results = await _submit_both_shards(server)
+                assert results == [float(k) for k in range(4)] + [
+                    float(200 + k) for k in range(4)
+                ]
+                return server.stats()["batcher"]
+
+        stats = asyncio.run(main())
+        assert stats["shard_dispatches"] >= 1
+        spans = {sid: (s, e) for sid, s, e in engine.intervals}
+        assert set(spans) == {0, 1}, engine.intervals
+        (s0, e0), (s1, e1) = spans[0], spans[1]
+        assert s0 < e1 and s1 < e0, (
+            f"shard sub-batches did not overlap: {spans}"
+        )
+
+    def test_without_shard_concurrency_no_overlap_machinery(self):
+        engine = TwoShardEcho()
+
+        async def main():
+            async with Server(engine) as server:  # shard_concurrency=0
+                await _submit_both_shards(server)
+                return server.stats()["batcher"]
+
+        stats = asyncio.run(main())
+        assert stats["shard_dispatches"] == 0
+        assert engine.intervals == []
+        assert engine.whole_batches >= 1
+
+    def test_failure_falls_back_to_whole_batch(self):
+        engine = TwoShardEcho(fail_shard_dispatch=True)
+
+        async def main():
+            async with Server(engine, shard_concurrency=2) as server:
+                results = await _submit_both_shards(server)
+                assert results == [float(k) for k in range(4)] + [
+                    float(200 + k) for k in range(4)
+                ]
+                return server.stats()["batcher"]
+
+        stats = asyncio.run(main())
+        assert stats["shard_dispatches"] == 0
+        assert engine.whole_batches >= 1  # reads are idempotent: retried whole
+
+    def test_sharded_engine_opts_out(self):
+        """ShardedEngine declares shard_dispatch_safe=False (shared caches);
+        the batcher must respect the flag even with a pool configured."""
+        keys = np.sort(np.random.default_rng(0).uniform(0, 1e6, 5_000))
+        engine = ShardedEngine(keys, n_shards=4, error=64)
+
+        async def main():
+            async with Server(engine, shard_concurrency=4) as server:
+                values = await asyncio.gather(
+                    *[server.get(k) for k in keys[:64]]
+                )
+                assert values == list(range(64))
+                return server.stats()["batcher"]
+
+        stats = asyncio.run(main())
+        assert stats["shard_dispatches"] == 0
+
+
+class TestValidation:
+    def test_negative_shard_concurrency_rejected(self):
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            Server(TwoShardEcho(), shard_concurrency=-1)

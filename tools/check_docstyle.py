@@ -5,7 +5,8 @@ An AST-based, zero-dependency substitute for ``pydocstyle``/``ruff`` D-rules
 (the offline toolchain this repo targets has neither). Scoped to the
 packages whose docstrings the serving stack's users read:
 
-* ``src/repro/engine/`` and ``src/repro/serve/`` (every module), and
+* ``src/repro/engine/``, ``src/repro/serve/`` and ``src/repro/cluster/``
+  (every module), and
 * ``src/repro/core/paged_index.py`` (the shared index base).
 
 Rules enforced:
@@ -34,6 +35,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 #: Files/directories whose public API the gate covers.
 TARGETS = (
+    "src/repro/cluster",
     "src/repro/engine",
     "src/repro/serve",
     "src/repro/core/paged_index.py",
@@ -43,10 +45,13 @@ TARGETS = (
 #: are defined in the target files.
 REQUIRED_SECTIONS = {
     "get_batch": ("Parameters", "Returns"),
+    "get_batch_shard": ("Parameters", "Returns"),
     "range_batch": ("Parameters", "Returns"),
     "insert_batch": ("Parameters",),
     "slice_pages": ("Parameters", "Returns"),
     "residency_report": ("Returns",),
+    "to_state": ("Returns",),
+    "from_state": ("Parameters", "Returns"),
 }
 
 #: Terminal punctuation accepted at the end of a summary paragraph.

@@ -20,7 +20,7 @@ import asyncio
 
 import numpy as np
 
-from repro.engine import ShardedEngine
+from repro import open_engine
 from repro.serve import Server, ServerOverloadedError
 from repro.workloads import run_closed_loop, uniform_lookups
 
@@ -28,7 +28,8 @@ from repro.workloads import run_closed_loop, uniform_lookups
 def build():
     rng = np.random.default_rng(7)
     keys = np.sort(rng.uniform(0, 1e9, 500_000))
-    return ShardedEngine(keys, n_shards=4, error=512.0, buffer_capacity=256), keys
+    engine = open_engine(keys, n_shards=4, error=512.0, buffer_capacity=256)
+    return engine, keys
 
 
 async def throughput_demo(engine, keys):
@@ -52,7 +53,7 @@ async def throughput_demo(engine, keys):
 
 
 async def read_your_writes_demo(engine):
-    print("read-your-writes across the insert fence:")
+    print("read-your-writes across the write fence:")
     async with Server(engine) as srv:
         # Writer and reader race on the same key inside one flush cycle;
         # the reader is barriered behind the insert and sees the write.
@@ -60,7 +61,12 @@ async def read_your_writes_demo(engine):
         read = asyncio.ensure_future(srv.get(3.14159))
         await asyncio.gather(write, read)
         held = srv.stats()["batcher"]["barrier_held"]
-        print(f"  reader saw {read.result()!r} (reads held at fence: {held})\n")
+        print(f"  reader saw {read.result()!r} (reads held at fence: {held})")
+        # Deletes ride the same fence: the racing reader misses cleanly.
+        gone, after = await asyncio.gather(
+            srv.delete(3.14159), srv.get(3.14159, "MISS")
+        )
+        print(f"  delete returned {gone!r}; racing reader saw {after!r}\n")
 
 
 async def backpressure_demo(engine, keys):

@@ -14,8 +14,7 @@ import time
 
 import numpy as np
 
-from repro.cluster import ClusterEngine
-from repro.engine import ShardedEngine
+from repro import open_engine
 from repro.serve import Server
 
 N_KEYS = 200_000
@@ -34,11 +33,12 @@ async def client(server, queries):
 
 async def main():
     keys = np.sort(np.random.default_rng(0).uniform(0, 1e9, N_KEYS))
-    inproc = ShardedEngine(keys, n_shards=N_SHARDS, error=128,
-                           buffer_capacity=32)
-    print(f"built {N_SHARDS}-shard engine over {N_KEYS:,} keys")
-
-    engine = ClusterEngine.from_engine(inproc)
+    # One declarative call: build + snapshot + one worker per shard.
+    # (To promote an already-live in-process engine instead, use
+    # ClusterEngine.from_engine(engine).)
+    engine = open_engine(keys, executor="cluster", n_shards=N_SHARDS,
+                         error=128, buffer_capacity=32)
+    print(f"built {N_SHARDS}-worker cluster over {N_KEYS:,} keys")
     try:
         stats = engine.stats()
         print("workers:", [w["pid"] for w in stats["workers"]])

@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-from repro import FITingTree, ShardedEngine
+from repro import FITingTree, open_engine
 from repro.workloads import run_batch_lookups, uniform_lookups
 
 
@@ -23,7 +23,7 @@ def main() -> None:
     rng = np.random.default_rng(42)
     keys = np.sort(rng.uniform(0, 3.15e7, 1_000_000))
 
-    engine = ShardedEngine(keys, n_shards=4, error=256)
+    engine = open_engine(keys, n_shards=4, error=256)
     print(f"engine: {engine}")
     for i, shard in enumerate(engine.shards):
         print(f"  shard {i}: n={len(shard):,}, segments={shard.n_segments:,}")

@@ -17,6 +17,16 @@ Quickstart
 >>> index.n_segments < 50_000     # orders of magnitude fewer entries than keys
 True
 
+The serving stack is opened through the :mod:`repro.api` layer — one
+declarative config constructs any backend behind one protocol:
+
+>>> from repro import EngineConfig, open_engine
+>>> engine = open_engine(keys, executor="sharded", n_shards=4)
+>>> int(engine.get_batch(keys[:8])[3])
+3
+>>> engine.insert_batch([1.5, 2.5]); engine.delete_batch([1.5]).size
+1
+
 Beyond the paper, :mod:`repro.engine` layers a serving system on top: a
 :class:`~repro.engine.ShardedEngine` range-partitions the key space into
 shards (one FITing-Tree each) and answers whole query batches through
@@ -31,6 +41,14 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.api import (
+    BatchEngine,
+    EngineConfig,
+    EngineProtocol,
+    ShardDispatchEngine,
+    open_engine,
+    open_server,
+)
 from repro.baselines import BinarySearchIndex, FixedPageIndex, FullIndex
 from repro.btree import BPlusTree
 from repro.core import (
@@ -58,23 +76,29 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessCounter",
     "BPlusTree",
+    "BatchEngine",
     "BinarySearchIndex",
     "CacheSim",
     "ClusterEngine",
     "ClusterError",
     "CostModel",
     "CostModelParams",
+    "EngineConfig",
+    "EngineProtocol",
     "FITingTree",
     "FixedPageIndex",
     "FlatView",
     "FullIndex",
     "LatencyModel",
+    "ShardDispatchEngine",
     "ShardedEngine",
     "SecondaryFITingTree",
     "Segment",
     "StringFITingTree",
     "exact_cone",
     "load_index",
+    "open_engine",
+    "open_server",
     "save_index",
     "optimal_segment_count",
     "optimal_segments",

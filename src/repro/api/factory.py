@@ -1,0 +1,243 @@
+"""Declarative construction: one config, every backend.
+
+Before this module, every bench, example and test hand-rolled its own
+backend construction — ``ShardedEngine(keys, n_shards=..., error=...)``
+here, ``ClusterEngine(...)`` there, ``Server(engine, max_batch=...)`` on
+top — and switching executors meant editing call sites. The factory
+replaces that with one declarative :class:`EngineConfig` plus two entry
+points:
+
+* :func:`open_engine` — build the index backend the config names
+  (``executor="single" | "sharded" | "cluster"``) over one dataset;
+* :func:`open_server` — the same, wrapped in a
+  :class:`~repro.serve.Server` configured from the serve knobs.
+
+Every returned engine satisfies :class:`repro.api.protocol.EngineProtocol`
+(the cross-backend conformance suite constructs all its backends through
+here), so application code written against the protocol runs unchanged on
+any executor::
+
+    from repro import EngineConfig, open_engine
+
+    engine = open_engine(keys, config=EngineConfig(executor="cluster",
+                                                   n_shards=4, error=128))
+    values = engine.get_batch(queries)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["EngineConfig", "open_engine", "open_server"]
+
+_EXECUTORS = ("single", "sharded", "cluster")
+_INDEXES = ("fiting", "fixed")
+
+
+@dataclass
+class EngineConfig:
+    """Declarative description of an engine (and optional server) to open.
+
+    Index knobs (``index``, ``error``, ``page_size``, ``buffer_capacity``,
+    ``index_kwargs``) describe the per-shard paged index; executor knobs
+    (``executor``, ``n_shards``, plus the cluster transport settings)
+    pick how shards run; serve knobs configure the
+    :class:`~repro.serve.Server` that :func:`open_server` wraps around the
+    engine. Unused knobs are ignored by backends they do not apply to,
+    so one config can describe every deployment of the same dataset.
+
+    Attributes
+    ----------
+    executor:
+        ``"single"`` (one in-process index behind the engine API),
+        ``"sharded"`` (range-partitioned in-process
+        :class:`~repro.engine.ShardedEngine`) or ``"cluster"``
+        (one worker process per shard,
+        :class:`~repro.cluster.ClusterEngine`).
+    n_shards:
+        Requested shard count (forced to 1 by ``executor="single"``).
+    index:
+        Per-shard index kind: ``"fiting"`` (error-bounded segments) or
+        ``"fixed"`` (the fixed-size-page baseline).
+    error:
+        FITing-Tree error bound ``E`` (``index="fiting"`` only).
+    page_size:
+        Elements per fixed page (``index="fixed"`` only).
+    buffer_capacity:
+        Per-page insert buffer; ``None`` keeps the index's default
+        (``error // 2`` / ``page_size // 2``); ``0`` builds read-only.
+    index_kwargs:
+        Extra keyword arguments forwarded to the index constructor
+        (e.g. ``search="linear"``, ``branching=...``).
+    mp_context, lane_capacity, op_timeout:
+        Cluster transport knobs (``executor="cluster"`` only); ``None``
+        keeps the cluster defaults.
+    max_batch, max_delay, eager_flush, max_pending, overload,
+    serve_executor, shard_concurrency, latency_window:
+        Serve-layer knobs applied by :func:`open_server`; see
+        :class:`~repro.serve.Server`.
+    """
+
+    executor: str = "sharded"
+    n_shards: int = 4
+    index: str = "fiting"
+    error: float = 64.0
+    page_size: int = 256
+    buffer_capacity: Optional[int] = None
+    index_kwargs: Dict[str, Any] = field(default_factory=dict)
+    # -- cluster transport --
+    mp_context: Any = None
+    lane_capacity: Optional[int] = None
+    op_timeout: float = 120.0
+    # -- serve layer --
+    max_batch: int = 1024
+    max_delay: float = 0.002
+    eager_flush: bool = True
+    max_pending: Optional[int] = None
+    overload: str = "wait"
+    serve_executor: Any = None
+    shard_concurrency: int = 0
+    latency_window: int = 100_000
+
+    def validate(self) -> None:
+        """Reject unknown executor/index kinds with a typed error."""
+        if self.executor not in _EXECUTORS:
+            raise InvalidParameterError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+        if self.index not in _INDEXES:
+            raise InvalidParameterError(
+                f"index must be one of {_INDEXES}, got {self.index!r}"
+            )
+
+    def index_factory(self):
+        """The per-shard ``f(keys, values) -> PagedIndexBase`` this config
+        describes (what the engine builds each shard with)."""
+        self.validate()
+        if self.index == "fixed":
+            from repro.baselines import FixedPageIndex
+
+            def factory(k, v):
+                return FixedPageIndex(
+                    k,
+                    v,
+                    page_size=self.page_size,
+                    buffer_capacity=self.buffer_capacity,
+                    **self.index_kwargs,
+                )
+
+        else:
+            from repro.core.fiting_tree import FITingTree
+
+            def factory(k, v):
+                return FITingTree(
+                    k,
+                    v,
+                    error=self.error,
+                    buffer_capacity=self.buffer_capacity,
+                    **self.index_kwargs,
+                )
+
+        return factory
+
+
+def _resolved(config: Optional[EngineConfig], overrides: Dict[str, Any]) -> EngineConfig:
+    """One immutable config from the optional base plus keyword overrides."""
+    config = config if config is not None else EngineConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    config.validate()
+    return config
+
+
+def open_engine(keys=None, values=None, *, config: Optional[EngineConfig] = None,
+                **overrides: Any):
+    """Open the engine backend a config describes, over one dataset.
+
+    Parameters
+    ----------
+    keys:
+        Sorted (ascending) build keys; ``None``/empty starts an empty
+        engine that grows via inserts.
+    values:
+        Optional payloads aligned with ``keys`` (``None`` = auto row ids).
+    config:
+        The :class:`EngineConfig` to follow (default-constructed when
+        omitted).
+    **overrides:
+        Individual config fields to override without mutating ``config``
+        (e.g. ``open_engine(keys, executor="cluster", n_shards=2)``).
+
+    Returns
+    -------
+    EngineProtocol
+        A :class:`~repro.engine.ShardedEngine` (``"single"`` /
+        ``"sharded"``) or :class:`~repro.cluster.ClusterEngine`
+        (``"cluster"``). Cluster engines own worker processes — close
+        them (``with`` / ``.close()``) when done.
+    """
+    config = _resolved(config, overrides)
+    n_shards = 1 if config.executor == "single" else config.n_shards
+    if config.executor == "cluster":
+        from repro.cluster import ClusterEngine
+        from repro.cluster.shm import DEFAULT_LANE_CAPACITY
+
+        return ClusterEngine(
+            keys,
+            values,
+            n_shards=n_shards,
+            error=config.error,
+            buffer_capacity=config.buffer_capacity,
+            mp_context=config.mp_context,
+            lane_capacity=config.lane_capacity or DEFAULT_LANE_CAPACITY,
+            op_timeout=config.op_timeout,
+            index_factory=config.index_factory(),
+        )
+    from repro.engine import ShardedEngine
+
+    return ShardedEngine(
+        keys,
+        values,
+        n_shards=n_shards,
+        index_factory=config.index_factory(),
+    )
+
+
+def open_server(keys=None, values=None, *, config: Optional[EngineConfig] = None,
+                **overrides: Any):
+    """Open an engine per the config and wrap it in a configured Server.
+
+    Parameters
+    ----------
+    keys, values, config, **overrides:
+        As for :func:`open_engine`; the serve knobs of the resolved
+        config shape the :class:`~repro.serve.Server`.
+
+    Returns
+    -------
+    Server
+        An unstarted asyncio server facade over the opened engine
+        (``async with open_server(...) as s: await s.get(k)``). Closing
+        the server does not close a cluster engine — callers own the
+        engine's lifecycle via ``server.engine``.
+    """
+    config = _resolved(config, overrides)
+    from repro.serve.server import Server
+
+    engine = open_engine(keys, values, config=config)
+    return Server(
+        engine,
+        max_batch=config.max_batch,
+        max_delay=config.max_delay,
+        eager_flush=config.eager_flush,
+        max_pending=config.max_pending,
+        overload=config.overload,
+        executor=config.serve_executor,
+        shard_concurrency=config.shard_concurrency,
+        latency_window=config.latency_window,
+    )

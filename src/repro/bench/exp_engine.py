@@ -21,13 +21,27 @@ delta buffers — the paper's Figure 12 buffer knob turned toward writes):
   into delta buffers with one vectorized splice each
   (``SegmentPage.bulk_insert``), overflow decisions once per page.
 
+Two delete modes complete the CRUD surface with the same comparison shape
+(same engine configuration, same removal stream, identical final state):
+
+* ``delete-per-key`` — the scalar delete path: route and sort once, then
+  one ``delete`` per key (tree descent + window search + one
+  ``np.delete`` page copy each);
+* ``delete-batch`` — the bulk delete path: whole per-page chunks removed
+  with one vectorized splice each (``SegmentPage.bulk_delete``),
+  rebuild decisions once per page.
+
+``modes`` restricts which measurements run (the CI smoke passes
+``--modes delete-per-key,delete-batch``); each group's engines are only
+built when one of its modes is requested.
+
 Headline claims (pinned by ``tests/engine``): over >= 100k uniform keys,
-sharded-batch beats the scalar read loop by >= 5x, and insert-batch beats
-the per-key apply path by >= 3x. The engine's flat-view memory residency
-(pages + combined view, ~2x table data — see
-``ShardedEngine.residency_report``) is recorded per dataset. Results are
-emitted to ``BENCH_engine.json`` so the perf trajectory accumulates
-across PRs.
+sharded-batch beats the scalar read loop by >= 5x, and insert-batch /
+delete-batch beat their per-key apply paths by >= 3x. The engine's
+flat-view memory residency (pages + combined view, ~2x table data — see
+``ShardedEngine.residency_report``) is recorded per dataset, including
+post-delete. Results are emitted to ``BENCH_engine.json`` so the perf
+trajectory accumulates across PRs.
 """
 
 from __future__ import annotations
@@ -96,6 +110,36 @@ def _wall_ns_insert_batch(
     return (time.perf_counter() - start) * 1e9 / ins_keys.size
 
 
+def _wall_ns_delete_per_key(engine: ShardedEngine, del_keys: np.ndarray) -> float:
+    """The scalar delete path: grouped routing, one ``delete`` per key.
+
+    Mirrors ``_wall_ns_insert_per_key``: the timer covers sort, routing
+    and per-key apply (each key pays a tree descent, a window search and
+    a whole-page ``np.delete`` copy), exactly like the bulk timer covers
+    ``delete_batch`` end to end — including the same rebuilds.
+    """
+    start = time.perf_counter()
+    order = np.argsort(del_keys, kind="stable")
+    sk = del_keys[order]
+    for sid, (a, b) in enumerate(shard_bounds(sk, engine.cuts)):
+        delete = engine._shards[sid].delete
+        for k in sk[a:b]:
+            delete(k)
+    return (time.perf_counter() - start) * 1e9 / del_keys.size
+
+
+def _wall_ns_delete_batch(engine: ShardedEngine, del_keys: np.ndarray) -> float:
+    start = time.perf_counter()
+    engine.delete_batch(del_keys)
+    return (time.perf_counter() - start) * 1e9 / del_keys.size
+
+
+#: The measurement groups ``modes`` may select from.
+_READ_MODES = ("scalar", "batch", "sharded-batch")
+_INSERT_MODES = ("insert-per-key", "insert-batch")
+_DELETE_MODES = ("delete-per-key", "delete-batch")
+
+
 @register_experiment("engine")
 def engine(
     n: int = 200_000,
@@ -105,16 +149,30 @@ def engine(
     n_shards: int = 4,
     error: float = 64.0,
     n_inserts: Optional[int] = None,
+    n_deletes: Optional[int] = None,
     insert_error: float = 1056.0,
     insert_buffer: int = 1024,
     datasets: Sequence[str] = ("uniform", "iot", "maps"),
+    modes: Optional[Sequence[str]] = None,
     out: Optional[str] = "BENCH_engine.json",
 ) -> ExperimentResult:
     """Read and write throughput of the engine across dataset types."""
+    all_modes = _READ_MODES + _INSERT_MODES + _DELETE_MODES
+    if modes is None:
+        modes = all_modes
+    elif isinstance(modes, str):
+        modes = tuple(m.strip() for m in modes.split(","))
+    unknown = set(modes) - set(all_modes)
+    if unknown:
+        raise ValueError(f"unknown engine modes {sorted(unknown)}")
     if n_queries is None:
         n_queries = min(n, 100_000)
     if n_inserts is None:
         n_inserts = min(n, 100_000)
+    if n_deletes is None:
+        # Half the table at most: the post-delete residency figure should
+        # describe a surviving engine, not an emptied one.
+        n_deletes = min(n // 2, 100_000)
     insert_buffer = min(insert_buffer, max(1, int(insert_error) - 1))
     rows = []
     notes = []
@@ -122,45 +180,112 @@ def engine(
     residency: Dict[str, Dict[str, Any]] = {}
     for name in datasets:
         keys = get(name, n=n, seed=seed)
-        queries = uniform_lookups(keys, n_queries, seed=seed + 1)
-        tree = FITingTree(keys, error=error, buffer_capacity=0)
-        eng = ShardedEngine(
-            keys, n_shards=n_shards, error=error, buffer_capacity=0
-        )
+        measured = []  # (mode, wall_ns, ref_ns, baseline)
 
-        scalar_ns = _wall_ns_scalar(tree, queries)
-        batch_res = run_batch_lookups(tree, queries, batch_size=batch_size)
-        shard_res = run_batch_lookups(eng, queries, batch_size=batch_size)
-        assert batch_res.hits == shard_res.hits == n_queries
-        residency[name] = eng.residency_report()
+        if set(modes) & set(_READ_MODES):
+            queries = uniform_lookups(keys, n_queries, seed=seed + 1)
+            tree = FITingTree(keys, error=error, buffer_capacity=0)
+            eng = ShardedEngine(
+                keys, n_shards=n_shards, error=error, buffer_capacity=0
+            )
+            scalar_ns = _wall_ns_scalar(tree, queries)
+            batch_res = run_batch_lookups(tree, queries, batch_size=batch_size)
+            shard_res = run_batch_lookups(eng, queries, batch_size=batch_size)
+            assert batch_res.hits == shard_res.hits == n_queries
+            residency.setdefault(name, {}).update(eng.residency_report())
+            measured += [
+                ("scalar", scalar_ns, scalar_ns, "scalar"),
+                ("batch", batch_res.wall_ns_per_op, scalar_ns, "scalar"),
+                ("sharded-batch", shard_res.wall_ns_per_op, scalar_ns, "scalar"),
+            ]
+            notes.append(
+                f"{name}: sharded-batch "
+                f"{scalar_ns / shard_res.wall_ns_per_op:.1f}x over scalar, "
+                f"batch {scalar_ns / batch_res.wall_ns_per_op:.1f}x "
+                f"({eng.n_shards} shards, "
+                f"{sum(s.n_segments for s in eng.shards)} segments)"
+            )
 
-        # Write path: identical engines, identical final state; only the
-        # apply strategy differs (per-key loop vs per-page bulk merges).
-        ins_keys, ins_values = _insert_stream(keys, n_inserts, seed + 2)
-        eng_per_key = ShardedEngine(
-            keys, n_shards=n_shards, error=insert_error,
-            buffer_capacity=insert_buffer,
-        )
-        eng_bulk = ShardedEngine(
-            keys, n_shards=n_shards, error=insert_error,
-            buffer_capacity=insert_buffer,
-        )
-        per_key_ns = _wall_ns_insert_per_key(eng_per_key, ins_keys, ins_values)
-        bulk_ns = _wall_ns_insert_batch(eng_bulk, ins_keys, ins_values)
-        sample = ins_keys[:: max(1, n_inserts // 512)]
-        assert (
-            eng_per_key.get_batch(sample) == eng_bulk.get_batch(sample)
-        ).all(), "bulk write path diverged from per-key apply"
+        if set(modes) & set(_INSERT_MODES):
+            # Write path: identical engines, identical final state; only
+            # the apply strategy differs (per-key loop vs bulk merges).
+            ins_keys, ins_values = _insert_stream(keys, n_inserts, seed + 2)
+            eng_per_key = ShardedEngine(
+                keys, n_shards=n_shards, error=insert_error,
+                buffer_capacity=insert_buffer,
+            )
+            eng_bulk = ShardedEngine(
+                keys, n_shards=n_shards, error=insert_error,
+                buffer_capacity=insert_buffer,
+            )
+            per_key_ns = _wall_ns_insert_per_key(
+                eng_per_key, ins_keys, ins_values
+            )
+            bulk_ns = _wall_ns_insert_batch(eng_bulk, ins_keys, ins_values)
+            sample = ins_keys[:: max(1, n_inserts // 512)]
+            assert (
+                eng_per_key.get_batch(sample) == eng_bulk.get_batch(sample)
+            ).all(), "bulk write path diverged from per-key apply"
+            measured += [
+                ("insert-per-key", per_key_ns, per_key_ns, "insert-per-key"),
+                ("insert-batch", bulk_ns, per_key_ns, "insert-per-key"),
+            ]
+            notes.append(
+                f"{name}: insert-batch {per_key_ns / bulk_ns:.1f}x over "
+                f"per-key apply ({n_inserts} inserts, buffer {insert_buffer})"
+                + (
+                    f"; flat-view residency "
+                    f"{residency[name]['residency_ratio']:.2f}x table data"
+                    if name in residency and "residency_ratio" in residency[name]
+                    else ""
+                )
+            )
+
+        if set(modes) & set(_DELETE_MODES):
+            # Delete path: same comparison shape — identical engines and
+            # removal stream, per-key np.delete loop vs per-page splices.
+            rng = np.random.default_rng(seed + 3)
+            del_keys = keys[rng.choice(keys.size, n_deletes, replace=False)]
+            eng_del_pk = ShardedEngine(
+                keys, n_shards=n_shards, error=insert_error,
+                buffer_capacity=insert_buffer,
+            )
+            eng_del_bulk = ShardedEngine(
+                keys, n_shards=n_shards, error=insert_error,
+                buffer_capacity=insert_buffer,
+            )
+            del_pk_ns = _wall_ns_delete_per_key(eng_del_pk, del_keys)
+            del_bulk_ns = _wall_ns_delete_batch(eng_del_bulk, del_keys)
+            miss = object()
+            sample = np.concatenate(
+                [del_keys[:: max(1, n_deletes // 256)],
+                 keys[:: max(1, n // 256)]]
+            )
+            a = eng_del_pk.get_batch(sample, miss)
+            b = eng_del_bulk.get_batch(sample, miss)
+            assert len(eng_del_pk) == len(eng_del_bulk) and all(
+                x is y if (x is miss or y is miss) else x == y
+                for x, y in zip(a, b)
+            ), "bulk delete path diverged from per-key delete"
+            residency.setdefault(name, {})["post_delete"] = (
+                eng_del_bulk.residency_report()
+            )
+            measured += [
+                ("delete-per-key", del_pk_ns, del_pk_ns, "delete-per-key"),
+                ("delete-batch", del_bulk_ns, del_pk_ns, "delete-per-key"),
+            ]
+            notes.append(
+                f"{name}: delete-batch {del_pk_ns / del_bulk_ns:.1f}x over "
+                f"per-key delete ({n_deletes} deletes); post-delete "
+                f"residency "
+                f"{residency[name]['post_delete']['residency_ratio']:.2f}x"
+            )
 
         # Read modes are normalized to the scalar get loop, write modes to
-        # the per-key apply loop; ``baseline`` names each row's reference.
-        for mode, wall_ns, ref_ns, baseline in (
-            ("scalar", scalar_ns, scalar_ns, "scalar"),
-            ("batch", batch_res.wall_ns_per_op, scalar_ns, "scalar"),
-            ("sharded-batch", shard_res.wall_ns_per_op, scalar_ns, "scalar"),
-            ("insert-per-key", per_key_ns, per_key_ns, "insert-per-key"),
-            ("insert-batch", bulk_ns, per_key_ns, "insert-per-key"),
-        ):
+        # their per-key apply loops; ``baseline`` names each reference.
+        for mode, wall_ns, ref_ns, baseline in measured:
+            if mode not in modes:
+                continue
             row = {
                 "dataset": name,
                 "mode": mode,
@@ -173,18 +298,6 @@ def engine(
             }
             rows.append(row)
             bench_rows.append(dict(row))
-        notes.append(
-            f"{name}: sharded-batch {scalar_ns / shard_res.wall_ns_per_op:.1f}x "
-            f"over scalar, batch {scalar_ns / batch_res.wall_ns_per_op:.1f}x "
-            f"({eng.n_shards} shards, {sum(s.n_segments for s in eng.shards)} "
-            f"segments)"
-        )
-        notes.append(
-            f"{name}: insert-batch {per_key_ns / bulk_ns:.1f}x over "
-            f"per-key apply ({n_inserts} inserts, buffer {insert_buffer}); "
-            f"flat-view residency {residency[name]['residency_ratio']:.2f}x "
-            f"table data"
-        )
 
     params: Dict[str, Any] = {
         "n": n,
@@ -193,8 +306,10 @@ def engine(
         "n_shards": n_shards,
         "error": error,
         "n_inserts": n_inserts,
+        "n_deletes": n_deletes,
         "insert_error": insert_error,
         "insert_buffer": insert_buffer,
+        "modes": list(modes),
         "seed": seed,
     }
     if out:

@@ -42,6 +42,7 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 from repro.bench.harness import ExperimentResult, register_experiment
+from repro.api import open_engine
 from repro.datasets import get
 from repro.engine import ShardedEngine
 from repro.serve import Server
@@ -90,7 +91,9 @@ def serve(
     if n_requests is None:
         n_requests = min(n, 30_000)
     keys = get(dataset, n=n, seed=seed)
-    engine = ShardedEngine(keys, n_shards=n_shards, error=error, buffer_capacity=0)
+    engine = open_engine(
+        keys, n_shards=n_shards, error=error, buffer_capacity=0
+    )
     queries = uniform_lookups(keys, n_requests, seed=seed + 1)
     # Bit-identical reference: the scalar path, one get per key.
     expected = np.asarray([engine.get(k) for k in queries])

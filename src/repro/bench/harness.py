@@ -69,6 +69,19 @@ def register_experiment(name: str):
     return deco
 
 
+def experiment_accepts(name: str, param: str) -> bool:
+    """Whether the experiment registered under ``name`` takes ``param``.
+
+    Lets the CLI forward optional flags (e.g. ``--modes``) only to
+    experiments whose signature declares them, instead of crashing every
+    other experiment with a TypeError.
+    """
+    import inspect
+
+    fn = _EXPERIMENTS.get(name)
+    return fn is not None and param in inspect.signature(fn).parameters
+
+
 def experiment_names() -> List[str]:
     return sorted(_EXPERIMENTS)
 

@@ -81,11 +81,14 @@ class ClusterEngine:
 
     Parameters
     ----------
-    keys, values, n_shards, error, buffer_capacity, index_kwargs:
+    keys, values, n_shards, error, buffer_capacity, index_factory,
+    index_kwargs:
         As for :class:`~repro.engine.ShardedEngine`; the build happens
         in-process first (segmentation runs once), each shard is
         snapshotted into its worker, and the in-process copy is dropped.
-        One worker per effective shard.
+        One worker per effective shard. A custom ``index_factory``'s
+        class must be snapshot-capable and registered
+        (``repro.cluster.snapshot.register_index_class``).
     mp_context:
         ``multiprocessing`` start method (``"fork"``/``"spawn"``/ a
         context object). Default: ``"fork"`` where available (cheap
@@ -119,6 +122,7 @@ class ClusterEngine:
         n_shards: int = 4,
         error: float = 64.0,
         buffer_capacity: Optional[int] = None,
+        index_factory: Any = None,
         mp_context: Any = None,
         lane_capacity: int = DEFAULT_LANE_CAPACITY,
         op_timeout: float = 120.0,
@@ -128,6 +132,7 @@ class ClusterEngine:
             keys,
             values,
             n_shards=n_shards,
+            index_factory=index_factory,
             error=error,
             buffer_capacity=buffer_capacity,
             **index_kwargs,
@@ -926,6 +931,113 @@ class ClusterEngine:
         except BaseException:
             return
         self._n = sum(replies[sid][2]["n"] for sid in replies)
+
+    def delete(self, key: float) -> Any:
+        """Scalar delete (a one-key fenced batch through the owning worker).
+
+        Raises :class:`~repro.core.errors.KeyNotFoundError` when absent,
+        exactly as :meth:`ShardedEngine.delete` does.
+        """
+        out = self.delete_batch(np.asarray([key], dtype=np.float64))
+        return out[0]
+
+    def delete_batch(
+        self, keys, *, missing: str = "raise", default: Any = None
+    ) -> np.ndarray:
+        """Bulk batch delete: route once, remove per worker under one fence.
+
+        The batch is stable-sorted and cut into one contiguous sub-batch
+        per shard exactly as :meth:`ShardedEngine.delete_batch` does; each
+        owning worker removes its chunk through the same vectorized
+        per-page splice path and replies with the deleted values (plus a
+        found mask under ``missing="ignore"``), and the call returns only
+        after *every* owning worker has acknowledged — the same per-batch
+        fence as inserts, so a subsequent read cannot see a deleted key.
+        Results and post-delete state are bit-identical to the in-process
+        engine's. Empty batches are a strict no-op.
+
+        Parameters
+        ----------
+        keys:
+            Keys to delete, any order, any array-like coercible to
+            float64; each element removes one occurrence.
+        missing:
+            ``"raise"`` (default) re-raises the owning worker's
+            :class:`~repro.core.errors.KeyNotFoundError` (removals
+            already applied — including by other workers in the same
+            round — stay applied); ``"ignore"`` records misses.
+        default:
+            Value filling the miss slots under ``missing="ignore"``
+            (parent-side only — it never crosses the process boundary).
+
+        Returns
+        -------
+        numpy.ndarray
+            One deleted value per request in request order: the values
+            dtype when every request hit, else an object array with
+            ``default`` in the miss slots.
+        """
+        self._check_open()
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.size == 0:
+            return np.empty(0, dtype=object)
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        jobs = [
+            (sid, a, b)
+            for sid, (a, b) in enumerate(shard_bounds(skeys, self.cuts))
+            if a < b
+        ]
+        self._acquire_all()
+        try:
+            try:
+                replies = self._round(
+                    [
+                        (
+                            sid,
+                            lambda sid=sid, a=a, b=b: self._send_delete(
+                                sid, skeys[a:b], missing
+                            ),
+                        )
+                        for sid, a, b in jobs
+                    ]
+                )
+            except BaseException:
+                # Some chunks may have applied before the failure (their
+                # replies were drained); recount from the workers.
+                self._resync_len()
+                raise
+            parts = [
+                (order[a:b], self._decode_get(sid, replies[sid][2]))
+                for sid, a, b in jobs
+            ]
+            # Scatter and count hits while the locks pin the response
+            # lanes (the parts hold zero-copy lane views).
+            out = self._scatter(keys.size, parts, default)
+            hits = sum(
+                idx.size if found is None else int(np.asarray(found).sum())
+                for idx, (_values, found) in parts
+            )
+        finally:
+            self._release_all()
+        self._n -= hits
+        return out
+
+    def _send_delete(self, sid: int, keys: np.ndarray, missing: str) -> None:
+        worker = self._workers[sid]
+        resp_bytes = keys.size * (self._values_dtype.itemsize + 1) + 64
+        self._ensure_lanes(sid, keys.nbytes, resp_bytes)
+        descr = worker.req.write([keys])[0]
+        worker.ipc["batches"] += 1
+        self._send(
+            sid,
+            (
+                "delete_batch",
+                (worker.req.name, worker.resp.name),
+                descr,
+                missing,
+            ),
+        )
 
     def _send_insert(self, sid: int, keys: np.ndarray, values: np.ndarray) -> None:
         worker = self._workers[sid]

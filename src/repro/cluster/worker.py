@@ -14,6 +14,8 @@ Protocol (parent → worker), one reply per frame:
 ``range_batch`` answer ``[lo, hi]`` scans; replies concatenated rows
 ``insert_batch``  apply a sorted per-shard chunk (the write fence:
                 the reply is not sent until the mutation is applied)
+``delete_batch``  remove a sorted per-shard chunk under the same fence;
+                replies deleted values + found mask (get_batch encoding)
 ``stats``       the shard index's ``stats()`` dict
 ``warm``        pre-build the shard's flattened read snapshot
 ``validate``    full shard validation + routing-range check
@@ -37,6 +39,7 @@ import numpy as np
 from repro.cluster.shm import ShmLane, attach_lane
 from repro.cluster.snapshot import index_from_state
 from repro.core.errors import InvalidParameterError
+from repro.core.page import exact_typed_array
 
 __all__ = ["shard_worker_main"]
 
@@ -114,18 +117,12 @@ class _ShardServer:
             return ("shm", descr, None)
         values = np.zeros(result.size, dtype=self.values_dtype)
         hits = result[found] if found.any() else result[:0]
-        try:
-            cast = hits.astype(self.values_dtype)
-            # Same exactness rule as SegmentPage.buffer_arrays: the cast
-            # must be value-preserving (NaN payloads allowed), otherwise
-            # the payload is not really numeric — e.g. the string '123'
-            # parses but must come back as a string, not 123.
-            exact = all(
-                c == h or (h != h and c != c) for c, h in zip(cast, hits)
-            )
-        except (ValueError, TypeError):  # non-numeric buffered payloads
-            exact = False
-        if not exact:
+        # Shared exactness rule (exact_typed_array): the cast must be
+        # value-preserving (NaN payloads allowed), otherwise the payload
+        # is not really numeric — e.g. the string '123' parses but must
+        # come back as a string, not 123.
+        cast = exact_typed_array(hits, self.values_dtype)
+        if cast is None:
             payload = [v if f else None for v, f in zip(result, found)]
             return ("pickle", payload, found)
         if hits.size:
@@ -281,6 +278,23 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
         los, his = req.read(bounds_descr)
         results = server.range_batch(los, his, include_lo, include_hi)
         payload = server.encode_range_reply(resp, results)
+        return ("ok", server.index.version, payload)
+    if verb == "delete_batch":
+        _, (req_name, resp_name), keys_descr, miss_mode = frame
+        req = server.lane("req", req_name)
+        resp = server.lane("resp", resp_name)
+        (keys_view,) = req.read([keys_descr])
+        keys = np.array(keys_view)  # own the memory before mutating state
+        result = server.index.delete_batch(
+            keys, missing=miss_mode, default=_MISS
+        )
+        if result.dtype != np.dtype(object):
+            found = None
+        else:
+            found = np.fromiter(
+                (v is not _MISS for v in result), dtype=bool, count=result.size
+            )
+        payload = server.encode_get_reply(resp, result, found)
         return ("ok", server.index.version, payload)
     if verb == "insert_batch":
         _, (req_name, _resp_name), keys_descr, values_descr, pickled = frame

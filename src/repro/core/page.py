@@ -23,7 +23,12 @@ import numpy as np
 from repro.core.errors import InvalidParameterError, InvariantViolationError
 from repro.memsim.counter import binary_search_probes_vec
 
-__all__ = ["SegmentPage", "aligned_value_array", "as_value_array"]
+__all__ = [
+    "SegmentPage",
+    "aligned_value_array",
+    "as_value_array",
+    "exact_typed_array",
+]
 
 
 def _object_array(items: List[Any]) -> np.ndarray:
@@ -56,6 +61,39 @@ def as_value_array(values) -> np.ndarray:
     if arr.ndim != 1:
         return _object_array(list(values))
     return arr
+
+
+def exact_typed_array(items, dtype) -> Optional[np.ndarray]:
+    """``items`` as a ``dtype`` array iff the cast preserves every value.
+
+    The one lossless-cast rule shared by buffer exports
+    (:meth:`SegmentPage.buffer_arrays`), worker get/delete replies and
+    bulk-delete results: a payload the target dtype cannot represent
+    exactly yields ``None`` (callers fall back to an object array or a
+    pickled reply) rather than a silently coerced array. NaN payloads
+    cast to NaN count as preserved. The comparison is one vectorized
+    pass; only slots that compare unequal (NaN candidates) are
+    re-examined per element.
+    """
+    out = np.empty(len(items), dtype=dtype)
+    try:
+        out[:] = items
+        if isinstance(items, np.ndarray) and items.dtype != np.dtype(object):
+            src = items
+        else:
+            src = _object_array(list(items))
+        neq = np.asarray(out != src, dtype=bool)
+    except (ValueError, TypeError, OverflowError):
+        return None
+    if neq.any():
+        for i in np.flatnonzero(neq):
+            a, b = out[i], src[i]
+            try:
+                if not (a != a and b != b):  # anything but NaN -> NaN
+                    return None
+            except (ValueError, TypeError):
+                return None
+    return out
 
 
 def aligned_value_array(n_keys: int, values) -> np.ndarray:
@@ -401,19 +439,177 @@ class SegmentPage:
             counter.buffer_line_misses += lines
             counter.data_move(int(((b0 - pos) + within).sum()))
 
-    def delete_at_data(self, i: int) -> Any:
-        """Physically remove data element ``i``; widens future windows by 1."""
+    def delete_at_data(self, i: int, counter: Any = None) -> Any:
+        """Physically remove data element ``i``; widens future windows by 1.
+
+        Charges ``data_move`` for the suffix shifted left by the removal —
+        the mirror of :meth:`insert_into_buffer`'s shift charge, and the
+        accounting the vectorized :meth:`bulk_delete` path reproduces
+        exactly (one splice, per-element modeled charges).
+        """
         value = self.values[i]
+        if counter is not None:
+            counter.data_move(len(self.keys) - i - 1)
         self.keys = np.delete(self.keys, i)
         self.values = np.delete(self.values, i)
         self.deletions += 1
         return value
 
-    def delete_at_buffer(self, i: int) -> Any:
+    def delete_at_buffer(self, i: int, counter: Any = None) -> Any:
+        """Remove buffer entry ``i``; charges the list shift like inserts do."""
         value = self.buf_values[i]
+        if counter is not None:
+            counter.data_move(len(self.buf_keys) - i - 1)
         del self.buf_keys[i]
         del self.buf_values[i]
         return value
+
+    def bulk_delete(
+        self,
+        keys,
+        search_error: float,
+        counter: Any = None,
+        max_data: Optional[int] = None,
+    ) -> Tuple[int, List[Any], int]:
+        """Delete one occurrence per requested key in one vectorized pass.
+
+        ``keys`` must be sorted ascending (float64-coercible); each element
+        is one deletion request. Requests are satisfied exactly as a loop
+        of scalar deletes over the batch would satisfy them on this page:
+        for every key, buffered occurrences go first (leftmost first), then
+        data occurrences (leftmost first, each widening future windows by
+        one slot). The pass stops early at the first request with no
+        remaining occurrence on this page — the owning index resolves it
+        through the scalar multi-page fallback — or once ``max_data``
+        physical data removals have been applied (the index's
+        rebuild-budget chunking, mirroring ``insert_batch``'s
+        capacity-aware chunking). All surviving removals are applied with
+        one list rebuild (buffer) plus one ``np.delete`` splice (data)
+        instead of one shift per key.
+
+        Modeled counter charges replicate the scalar loop exactly,
+        including state evolution *within* the batch: the t-th request
+        pays a buffer binary search over the buffer as it stood after
+        t-1 removals, a window search sized by the deletions-widened,
+        shrunken data array of that moment, and the same ``data_move``
+        shift totals as :meth:`delete_at_buffer` / :meth:`delete_at_data`.
+
+        Parameters
+        ----------
+        keys:
+            Sorted deletion requests (duplicates delete multiple
+            occurrences).
+        search_error:
+            The owner's page search error (window bound).
+        counter:
+            Optional access counter (see charge model above).
+        max_data:
+            Inclusive cap on physical data removals this call may apply;
+            ``None`` means unbounded.
+
+        Returns
+        -------
+        tuple
+            ``(n_applied, values, n_data_deleted)`` — the number of leading
+            requests satisfied, their deleted values in request order, and
+            how many of them were physical data removals.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        n = keys.size
+        if n == 0:
+            return 0, [], 0
+        # Per-request run decomposition (as in bulk_insert): run_id names
+        # each request's distinct key, ``within`` its rank in that run.
+        idx = np.arange(n, dtype=np.int64)
+        if n > 1:
+            run_starts = np.flatnonzero(np.diff(keys) != 0) + 1
+            bounds = np.concatenate(([0], run_starts, [n]))
+            run_id = np.zeros(n, dtype=np.int64)
+            run_id[run_starts] = 1
+            np.cumsum(run_id, out=run_id)
+        else:
+            bounds = np.asarray([0, 1], dtype=np.int64)
+            run_id = np.zeros(1, dtype=np.int64)
+        within = idx - bounds[run_id]
+        uk = keys[bounds[:-1]]
+        counts = np.diff(bounds)
+
+        buf_k = np.asarray(self.buf_keys, dtype=np.float64)
+        b_lo = np.searchsorted(buf_k, uk, side="left")
+        b_avail = np.searchsorted(buf_k, uk, side="right") - b_lo
+        d_lo = np.searchsorted(self.keys, uk, side="left")
+        d_avail = np.searchsorted(self.keys, uk, side="right") - d_lo
+        take_b = np.minimum(counts, b_avail)
+        take_d = np.minimum(counts - take_b, d_avail)
+
+        is_buf = within < take_b[run_id]
+        is_data = ~is_buf & (within < (take_b + take_d)[run_id])
+        # Stop at the first request this page cannot satisfy, then at the
+        # data-removal budget (the request that exhausts it is included,
+        # exactly where the scalar loop triggers the rebuild).
+        satisfied = is_buf | is_data
+        n_applied = int(np.argmin(satisfied)) if not satisfied.all() else n
+        if max_data is not None:
+            data_rank = np.cumsum(is_data[:n_applied])
+            over = np.flatnonzero(data_rank >= max_data)
+            if over.size:
+                n_applied = int(over[0]) + 1
+        if n_applied == 0:
+            return 0, [], 0
+
+        is_buf = is_buf[:n_applied]
+        is_data = is_data[:n_applied]
+        # Original-array positions of each removal; deleting them in one
+        # splice equals the scalar one-at-a-time removals.
+        buf_req = np.flatnonzero(is_buf)
+        data_req = np.flatnonzero(is_data)
+        buf_pos = (b_lo[run_id] + within)[buf_req]
+        data_pos = (d_lo[run_id] + within - take_b[run_id])[data_req]
+
+        values: List[Any] = [None] * n_applied
+        for t, p in zip(buf_req.tolist(), buf_pos.tolist()):
+            values[t] = self.buf_values[p]
+        for t, p in zip(data_req.tolist(), data_pos.tolist()):
+            values[t] = self.values[p]
+
+        if counter is not None:
+            # Every request binary-searches the buffer as it stood at its
+            # turn (t-1 earlier buffer removals already applied) ...
+            b0 = len(self.buf_keys)
+            prior_b = np.concatenate(([0], np.cumsum(is_buf)[:-1]))
+            probes, lines = binary_search_probes_vec(b0 - prior_b)
+            counter.buffer_probes += probes
+            counter.buffer_line_misses += lines
+            # ... buffer misses fall through to a window search over the
+            # shrunken, deletions-widened data array of that moment ...
+            if data_req.size:
+                n0 = len(self.keys)
+                prior_d = np.cumsum(is_data)[data_req] - 1
+                n_t = n0 - prior_d
+                err = search_error + self.deletions + prior_d
+                pred = (keys[data_req] - self.start_key) * self.slope
+                lo = np.maximum(np.floor(pred - err), 0.0)
+                hi = np.minimum(np.ceil(pred + err) + 1.0, n_t)
+                width = np.maximum(hi - lo, 0.0).astype(np.int64)
+                # Clamped-outside fallback probes one end slot (window()).
+                width[width == 0] = np.minimum(n_t, 1)[width == 0]
+                probes, lines = binary_search_probes_vec(width)
+                counter.segment_probes += probes
+                counter.segment_line_misses += lines
+                counter.data_move(int((n0 - data_pos - 1).sum()))
+            if buf_req.size:
+                counter.data_move(int((b0 - buf_pos - 1).sum()))
+
+        if buf_pos.size:
+            keep = np.ones(len(self.buf_keys), dtype=bool)
+            keep[buf_pos] = False
+            self.buf_keys = [k for k, f in zip(self.buf_keys, keep) if f]
+            self.buf_values = [v for v, f in zip(self.buf_values, keep) if f]
+        if data_pos.size:
+            self.keys = np.delete(self.keys, data_pos)
+            self.values = np.delete(self.values, data_pos)
+            self.deletions += int(data_pos.size)
+        return n_applied, values, int(data_pos.size)
 
     def buffer_arrays(self, values_dtype=None) -> Tuple[np.ndarray, np.ndarray]:
         """The insert buffer as aligned ``(keys, values)`` NumPy arrays.
@@ -427,22 +623,11 @@ class SegmentPage:
         """
         dtype = self.values.dtype if values_dtype is None else values_dtype
         keys = np.asarray(self.buf_keys, dtype=np.float64)
-        n = len(self.buf_values)
         if dtype == np.dtype(object):
             return keys, _object_array(self.buf_values)
-        values = np.empty(n, dtype=dtype)
-        if n:
-            try:
-                values[:] = self.buf_values
-                exact = all(
-                    values[i] == v
-                    or (v != v and values[i] != values[i])  # NaN payloads
-                    for i, v in enumerate(self.buf_values)
-                )
-            except (ValueError, TypeError, OverflowError):
-                exact = False
-            if not exact:
-                values = _object_array(self.buf_values)
+        values = exact_typed_array(self.buf_values, dtype)
+        if values is None:
+            values = _object_array(self.buf_values)
         return keys, values
 
     def merged_arrays(self) -> Tuple[np.ndarray, np.ndarray]:

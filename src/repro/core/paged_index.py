@@ -35,7 +35,11 @@ from repro.core.errors import (
     KeyNotFoundError,
     NotSortedError,
 )
-from repro.core.page import SegmentPage, aligned_value_array
+from repro.core.page import (
+    SegmentPage,
+    aligned_value_array,
+    exact_typed_array,
+)
 
 __all__ = ["PagedIndexBase"]
 
@@ -766,15 +770,19 @@ class PagedIndexBase:
     # Deletes (extension; the paper does not cover deletion)
     # ------------------------------------------------------------------
 
-    def delete(self, key: float) -> Any:
-        """Remove one occurrence of ``key``; returns its value.
+    #: Sentinel returned by ``_delete_one`` when no occurrence exists.
+    _DELETE_MISS = object()
 
-        Buffered occurrences are removed directly; data occurrences are
-        physically removed, widening the page's search window by one slot.
-        After ``buffer_capacity`` deletions the page is rebuilt, so the
-        user-facing error bound never degrades.
+    def _delete_one(self, key: float) -> Any:
+        """Remove one occurrence of ``key``; ``_DELETE_MISS`` when absent.
+
+        The scalar delete path (and the batch path's multi-page fallback
+        for requests the owning floor page cannot satisfy — split
+        duplicate runs and under-min keys). Charges exactly one logical
+        op plus the searches it actually performs, so a loop of scalar
+        deletes and one :meth:`delete_batch` charge identical page-level
+        counters.
         """
-        self._check_writable()
         key = float(key)
         if self.counter is not None:
             self.counter.op()
@@ -782,7 +790,7 @@ class PagedIndexBase:
             j = page.find_in_buffer(key, self.counter)
             if j >= 0:
                 self._version += 1
-                value = page.delete_at_buffer(j)
+                value = page.delete_at_buffer(j, self.counter)
                 self._n -= 1
                 if page.n_total == 0:
                     self._tree.delete(tree_key)
@@ -791,7 +799,7 @@ class PagedIndexBase:
             i = page.find_in_data(key, self.page_search_error, self.counter)
             if i >= 0:
                 self._version += 1
-                value = page.delete_at_data(i)
+                value = page.delete_at_data(i, self.counter)
                 self._n -= 1
                 if page.n_total == 0:
                     self._tree.delete(tree_key)
@@ -799,7 +807,147 @@ class PagedIndexBase:
                 elif page.deletions >= self.buffer_capacity:
                     self._rebuild_page(tree_key, page)
                 return value
-        raise KeyNotFoundError(key)
+        return self._DELETE_MISS
+
+    def delete(self, key: float) -> Any:
+        """Remove one occurrence of ``key``; returns its value.
+
+        Buffered occurrences are removed directly; data occurrences are
+        physically removed, widening the page's search window by one slot.
+        After ``buffer_capacity`` deletions the page is rebuilt, so the
+        user-facing error bound never degrades. Charge accounting is
+        shared with :meth:`delete_batch` (op + buffer search + window
+        search + ``data_move`` shift), so the scalar loop and the batch
+        path charge identical page-level counters.
+        """
+        self._check_writable()
+        value = self._delete_one(key)
+        if value is self._DELETE_MISS:
+            raise KeyNotFoundError(float(key))
+        return value
+
+    def delete_batch(
+        self, keys, *, missing: str = "raise", default: Any = None
+    ) -> np.ndarray:
+        """Vectorized batch delete: group keys per page, bulk-splice each.
+
+        The final state matches looping :meth:`delete` over the batch in
+        stable key order (ties keep request order): each owning page
+        removes its whole contiguous sub-batch through
+        :meth:`SegmentPage.bulk_delete` — one buffer rebuild plus one
+        ``np.delete`` splice — chunked to the page's remaining
+        deletion-widening budget, so a chunk that drives ``deletions`` to
+        ``buffer_capacity`` triggers exactly the rebuild a scalar delete
+        would, and the remaining keys re-route against the new pages.
+        Requests the floor page cannot satisfy (split duplicate runs,
+        under-min keys, absent keys) fall back to the scalar multi-page
+        path one request at a time, preserving scalar semantics and
+        charge accounting. Empty batches are a strict no-op. Cost for K
+        deletes: one O(K log K) sort, one tree descent per touched page,
+        and one splice per mutated page instead of one per key.
+
+        Parameters
+        ----------
+        keys:
+            Keys to delete, any order, any array-like coercible to
+            float64; each element removes one occurrence.
+        missing:
+            ``"raise"`` (default) raises :class:`KeyNotFoundError` at the
+            first request with no remaining occurrence, leaving prior
+            removals applied — exactly where the scalar loop would raise.
+            ``"ignore"`` records a miss and continues.
+        default:
+            Value filling the miss slots under ``missing="ignore"``.
+
+        Returns
+        -------
+        numpy.ndarray
+            One deleted value per request, in request order: the values
+            dtype when every request hit, else an object array with
+            ``default`` in the miss slots (the :meth:`get_batch`
+            convention).
+        """
+        self._check_writable()
+        if missing not in ("raise", "ignore"):
+            raise InvalidParameterError(
+                f"missing must be 'raise' or 'ignore', got {missing!r}"
+            )
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        n = keys.size
+        if n == 0:
+            return np.empty(0, dtype=self._values_dtype)
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        values: List[Any] = [default] * n
+        found = np.zeros(n, dtype=bool)
+        #: Whether any deleted value came from an insert buffer (a plain
+        #: Python list that may hold payloads the values dtype cannot
+        #: represent); data-array values are exact by construction.
+        saw_buffer = False
+        counter = self.counter
+        i = 0
+        while i < n:
+            applied = 0
+            if len(self._tree):
+                tree_key, page = self._page_for(float(skeys[i]))
+                nxt = self._tree.higher_item(tree_key)
+                if nxt is None:
+                    j = n
+                else:
+                    j = i + int(
+                        np.searchsorted(skeys[i:], nxt[0][0], side="left")
+                    )
+                budget = (
+                    self.buffer_capacity - page.deletions
+                    if self.buffer_capacity
+                    else None
+                )
+                applied, vals, n_data = page.bulk_delete(
+                    skeys[i:j], self.page_search_error, counter, budget
+                )
+                if applied > n_data:
+                    saw_buffer = True
+                if applied:
+                    values[i : i + applied] = vals
+                    found[i : i + applied] = True
+                    self._n -= applied
+                    self._version += 1
+                    if counter is not None:
+                        counter.ops += applied
+                    i += applied
+                    if page.n_total == 0:
+                        self._tree.delete(tree_key)
+                        self._dirty = True
+                    elif (
+                        self.buffer_capacity
+                        and page.deletions >= self.buffer_capacity
+                    ):
+                        self._rebuild_page(tree_key, page)
+                    continue
+            # The floor page holds no (further) occurrence of skeys[i]:
+            # resolve this one request through the scalar multi-page path.
+            value = self._delete_one(float(skeys[i]))
+            if value is not self._DELETE_MISS:
+                values[i] = value
+                found[i] = True
+                saw_buffer = True  # the fallback may reach buffers
+            elif missing == "raise":
+                raise KeyNotFoundError(float(skeys[i]))
+            i += 1
+
+        out = np.empty(n, dtype=object)
+        out[order] = values
+        if bool(found.all()) and self._values_dtype != np.dtype(object):
+            if not saw_buffer:
+                # Every value came straight off a typed data array:
+                # exact by construction, no per-value verification.
+                typed = np.empty(n, dtype=self._values_dtype)
+                typed[:] = out
+                return typed
+            typed = exact_typed_array(out, self._values_dtype)
+            if typed is not None:
+                return typed
+        return out
 
     def delete_value(self, key: float, value: Any) -> bool:
         """Remove the occurrence of ``key`` whose payload equals ``value``.
@@ -818,7 +966,7 @@ class PagedIndexBase:
             while 0 <= j < len(page.buf_keys) and page.buf_keys[j] == key:
                 if page.buf_values[j] == value:
                     self._version += 1
-                    page.delete_at_buffer(j)
+                    page.delete_at_buffer(j, self.counter)
                     self._n -= 1
                     if page.n_total == 0:
                         self._tree.delete(tree_key)
@@ -829,7 +977,7 @@ class PagedIndexBase:
             while 0 <= i < len(page.keys) and page.keys[i] == key:
                 if page.values[i] == value:
                     self._version += 1
-                    page.delete_at_data(i)
+                    page.delete_at_data(i, self.counter)
                     self._n -= 1
                     if page.n_total == 0:
                         self._tree.delete(tree_key)

@@ -736,6 +736,69 @@ class ShardedEngine:
             if a < b:
                 self._shards[sid].insert_batch(keys[a:b], values[a:b])
 
+    def delete(self, key: float) -> Any:
+        """Scalar delete: remove one occurrence of ``key``, return its value.
+
+        Routes to the owning shard's ``delete``; raises
+        :class:`~repro.core.errors.KeyNotFoundError` when absent.
+        """
+        return self.shard_for(key).delete(key)
+
+    def delete_batch(
+        self, keys, *, missing: str = "raise", default: Any = None
+    ) -> np.ndarray:
+        """Bulk batch delete: route once, bulk-splice per shard and page.
+
+        The batch is stable-sorted by key and cut into one contiguous
+        sub-batch per shard with a single ``searchsorted`` over the cuts;
+        each shard removes its chunk through
+        ``PagedIndexBase.delete_batch`` (one splice per mutated page).
+        The resulting state is identical to looping ``delete`` per key in
+        that same order — pinned by the equivalence suites — and only the
+        mutated shards' flat views invalidate (the combined view patches
+        incrementally when one shard was touched). An empty batch is a
+        strict no-op.
+
+        Parameters
+        ----------
+        keys:
+            Keys to delete, any order, any array-like coercible to
+            float64; each element removes one occurrence.
+        missing:
+            ``"raise"`` (default) raises
+            :class:`~repro.core.errors.KeyNotFoundError` at the first
+            absent request (prior removals stay applied, exactly as the
+            scalar loop would leave them); ``"ignore"`` records a miss
+            and continues.
+        default:
+            Value filling the miss slots under ``missing="ignore"``.
+
+        Returns
+        -------
+        numpy.ndarray
+            One deleted value per request in request order: the values
+            dtype when every request hit, else an object array with
+            ``default`` in the miss slots.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        if keys.size == 0:
+            return np.empty(0, dtype=object)
+        order = np.argsort(keys, kind="stable")
+        skeys = keys[order]
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        for sid, (a, b) in enumerate(shard_bounds(skeys, self.cuts)):
+            if a < b:
+                res = self._shards[sid].delete_batch(
+                    skeys[a:b], missing=missing, default=default
+                )
+                parts.append((order[a:b], res))
+        dtypes = {res.dtype for _, res in parts}
+        dtype = dtypes.pop() if len(dtypes) == 1 else np.dtype(object)
+        out = np.empty(keys.size, dtype=dtype)
+        for idx, res in parts:
+            out[idx] = res
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedEngine(n={len(self)}, shards={self.n_shards}, "

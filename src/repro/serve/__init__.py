@@ -25,9 +25,9 @@ Quickstart::
 awaits vs batched serving) and writes ``BENCH_serve.json``.
 """
 
+from repro.api.protocol import BatchEngine, ShardDispatchEngine
 from repro.serve.batcher import RequestBatcher
 from repro.serve.errors import ServerClosedError, ServerOverloadedError
-from repro.serve.protocol import BatchEngine, ShardDispatchEngine
 from repro.serve.server import Server
 from repro.serve.stats import LatencySeries
 

@@ -4,10 +4,10 @@ The engine (:class:`repro.engine.ShardedEngine`) is fast when it answers
 *batches* — one vectorized pass instead of one Python descent per key — but
 serving traffic arrives as independent per-caller ``await`` s. The
 :class:`RequestBatcher` closes that gap: concurrent ``submit_get`` /
-``submit_range`` / ``submit_insert`` calls park their futures in pending
-lists, a flush coalesces the lists into arrays, dispatches them through
-``get_batch`` / ``range_batch`` / ``insert_batch``, and fans the results
-back out to each caller's future.
+``submit_range`` / ``submit_insert`` / ``submit_delete`` calls park their
+futures in pending lists, a flush coalesces the lists into arrays,
+dispatches them through ``get_batch`` / ``range_batch`` / ``insert_batch``
+/ ``delete_batch``, and fans the results back out to each caller's future.
 
 Flush triggers (first one wins):
 
@@ -23,15 +23,16 @@ Flush triggers (first one wins):
 Ordering guarantees (read-your-writes):
 
 * Flush cycles are serialized by an ``asyncio.Lock``; within a cycle the
-  dispatch order is reads, then inserts, then *barriered* reads.
-* A read submitted while inserts are pending is *barriered* — held back
-  until after the insert dispatch — iff its key (or range) overlaps the
-  pending inserts' key fence ``[min, max]``. Non-overlapping reads keep
-  batching ahead of the write. After the insert flush, the engine's
+  dispatch order is reads, then writes (inserts and deletes, dispatched
+  as maximal same-kind runs in submission order), then *barriered* reads.
+* A read submitted while writes are pending is *barriered* — held back
+  until after the write dispatch — iff its key (or range) overlaps the
+  pending writes' key fence ``[min, max]``. Non-overlapping reads keep
+  batching ahead of the write. After each write flush, the engine's
   monotonic :attr:`~repro.engine.ShardedEngine.version` stamp is recorded
   so the barrier is observable (``stats()["barrier_version"]``).
 * A read submitted *after* a flush started waits on the lock, so it always
-  sees any insert dispatched in that cycle.
+  sees any write dispatched in that cycle.
 
 Failure isolation: a poisoned batch (e.g. one key that cannot coerce to
 float) falls back to per-request scalar verbs, so only the offending
@@ -51,14 +52,15 @@ from __future__ import annotations
 import asyncio
 import math
 import time
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, KeyNotFoundError
 
 if TYPE_CHECKING:  # pragma: no cover - type-checker-only import
-    from repro.serve.protocol import BatchEngine  # noqa: F401
+    from repro.api.protocol import BatchEngine  # noqa: F401
 
 __all__ = ["RequestBatcher"]
 
@@ -95,8 +97,11 @@ class RequestBatcher:
     engine:
         Anything exposing the engine verbs — scalar ``get`` / ``insert`` /
         ``range_arrays`` plus batch ``get_batch`` / ``range_batch`` /
-        ``insert_batch`` (a :class:`~repro.engine.ShardedEngine` or a bare
-        :class:`~repro.core.paged_index.PagedIndexBase`-derived index).
+        ``insert_batch`` (see :class:`~repro.api.protocol.BatchEngine`),
+        e.g. a :class:`~repro.engine.ShardedEngine` or
+        :class:`~repro.cluster.ClusterEngine`. ``submit_delete`` further
+        requires the ``delete`` / ``delete_batch`` verbs of the full
+        :class:`~repro.api.protocol.EngineProtocol`.
     max_batch:
         Dispatch granularity: a flush cuts pending requests into chunks of
         at most this many; reaching it also triggers an immediate flush.
@@ -121,7 +126,7 @@ class RequestBatcher:
         When set — and the engine advertises
         ``shard_dispatch_safe = True`` with ``route_shards`` /
         ``get_batch_shard`` (see
-        :class:`~repro.serve.protocol.ShardDispatchEngine`) — a get
+        :class:`~repro.api.protocol.ShardDispatchEngine`) — a get
         flush splits its batch by owning shard and answers the shards as
         independent event-loop tasks gathered under the same fence:
         sub-batches overlap in time (real parallelism over a
@@ -178,12 +183,14 @@ class RequestBatcher:
         self._clock = time.perf_counter if observer is not None else _zero
 
         # Pending ops: (key, default, future, t0) / (lo, hi, future, t0) /
-        # (key, value, future, t0).
+        # (key, value, future, t0). Writes keep submission order in one
+        # list of ("insert" | "delete", op) pairs so an insert and a
+        # delete of the same key dispatch in the order they arrived.
         self._gets: List[Tuple] = []
         self._ranges: List[Tuple] = []
-        self._inserts: List[Tuple] = []
-        #: Reads overlapping the pending inserts' key fence; dispatched
-        #: after the inserts in the same flush cycle (read-your-writes).
+        self._writes: List[Tuple[str, Tuple]] = []
+        #: Reads overlapping the pending writes' key fence; dispatched
+        #: after the writes in the same flush cycle (read-your-writes).
         self._held_gets: List[Tuple] = []
         self._held_ranges: List[Tuple] = []
         self._fence_lo = math.inf
@@ -203,8 +210,8 @@ class RequestBatcher:
         self._solo_tasks: set = set()
         self._stats: Dict[str, Any] = {
             "flushes": 0,
-            "batches": {"get": 0, "range": 0, "insert": 0},
-            "ops": {"get": 0, "range": 0, "insert": 0},
+            "batches": {"get": 0, "range": 0, "insert": 0, "delete": 0},
+            "ops": {"get": 0, "range": 0, "insert": 0, "delete": 0},
             "max_batch_observed": 0,
             "scalar_fallbacks": 0,
             "shard_dispatches": 0,
@@ -265,7 +272,7 @@ class RequestBatcher:
         if self.max_batch == 1:
             self._solo(loop, self._dispatch_gets, op)
             return fut
-        if self._inserts and self._read_overlaps_fence(key, key):
+        if self._writes and self._read_overlaps_fence(key, key):
             self._held_gets.append(op)
             self._stats["barrier_held"] += 1
         else:
@@ -292,7 +299,7 @@ class RequestBatcher:
         if self.max_batch == 1:
             self._solo(loop, self._dispatch_ranges, op)
             return fut
-        if self._inserts and self._read_overlaps_fence(lo, hi):
+        if self._writes and self._read_overlaps_fence(lo, hi):
             self._held_ranges.append(op)
             self._stats["barrier_held"] += 1
         else:
@@ -307,7 +314,32 @@ class RequestBatcher:
         if self.max_batch == 1:
             self._solo(loop, self._dispatch_inserts, (key, value, fut, self._clock()))
             return fut
-        self._inserts.append((key, value, fut, self._clock()))
+        self._writes.append(("insert", (key, value, fut, self._clock())))
+        self._widen_fence(key)
+        self._after_submit(loop)
+        return fut
+
+    def submit_delete(self, key: Any) -> asyncio.Future:
+        """Enqueue a delete; resolves to the deleted value once applied.
+
+        An absent key rejects that caller's future with
+        :class:`~repro.core.errors.KeyNotFoundError` without affecting
+        batch-mates. Deletes share the inserts' key fence, so a read
+        submitted after a delete of an overlapping key is dispatched
+        after it (read-your-writes for removals too).
+        """
+        loop = self._get_loop()
+        fut = loop.create_future()
+        if self.max_batch == 1:
+            self._solo(loop, self._dispatch_deletes, (key, None, fut, self._clock()))
+            return fut
+        self._writes.append(("delete", (key, None, fut, self._clock())))
+        self._widen_fence(key)
+        self._after_submit(loop)
+        return fut
+
+    def _widen_fence(self, key: Any) -> None:
+        """Grow the pending-writes key fence to cover ``key``."""
         try:
             fk = float(key)
         except (TypeError, ValueError):
@@ -317,8 +349,6 @@ class RequestBatcher:
         else:
             self._fence_lo = min(self._fence_lo, fk)
             self._fence_hi = max(self._fence_hi, fk)
-        self._after_submit(loop)
-        return fut
 
     def _solo(self, loop: asyncio.AbstractEventLoop, dispatch, op: Tuple) -> None:
         """Per-request dispatch (``max_batch=1``): one task per request.
@@ -414,19 +444,31 @@ class RequestBatcher:
     async def _dispatch_cycle(self) -> None:
         gets, self._gets = self._gets, []
         ranges, self._ranges = self._ranges, []
-        inserts, self._inserts = self._inserts, []
+        writes, self._writes = self._writes, []
         held_gets, self._held_gets = self._held_gets, []
         held_ranges, self._held_ranges = self._held_ranges, []
         self._n_pending = 0
         self._fence_lo, self._fence_hi = math.inf, -math.inf
-        if not (gets or ranges or inserts or held_gets or held_ranges):
+        if not (gets or ranges or writes or held_gets or held_ranges):
             return
         self._stats["flushes"] += 1
         await self._dispatch_gets(gets)
         await self._dispatch_ranges(ranges)
-        if inserts:
-            await self._dispatch_inserts(inserts)
-        # Read-your-writes: reads that overlapped the inserts go last.
+        # Writes dispatch as maximal same-kind runs in submission order,
+        # so an insert and a delete of the same key apply as submitted.
+        i = 0
+        while i < len(writes):
+            kind = writes[i][0]
+            j = i
+            while j < len(writes) and writes[j][0] == kind:
+                j += 1
+            run = [op for _, op in writes[i:j]]
+            if kind == "insert":
+                await self._dispatch_inserts(run)
+            else:
+                await self._dispatch_deletes(run)
+            i = j
+        # Read-your-writes: reads that overlapped the writes go last.
         await self._dispatch_gets(held_gets)
         await self._dispatch_ranges(held_ranges)
 
@@ -656,6 +698,69 @@ class RequestBatcher:
                 # is the only answer that cannot double-insert.
                 for op in chunk:
                     self._reject(op, "insert", exc)
+            version = getattr(engine, "version", None)
+            if version is not None:
+                self._stats["barrier_version"] = version
+
+    async def _dispatch_deletes(self, ops: List[Tuple]) -> None:
+        """Dispatch a delete run through ``engine.delete_batch``.
+
+        Misses reject only their own future (with the engine's
+        ``KeyNotFoundError``), so one absent key cannot poison its
+        batch-mates; a whole-batch failure falls back per key only when
+        the engine's version stamp proves nothing was applied, exactly
+        like the insert path.
+        """
+        engine = self.engine
+        for chunk in self._chunks(ops):
+            self._note_batch("delete", len(chunk))
+            keys = [op[0] for op in chunk]
+            if len(chunk) == 1:
+                # Already per-request isolated: dispatch the scalar verb
+                # and reject this one future on any failure.
+                try:
+                    value = await self._run(engine.delete, keys[0])
+                except Exception as exc:
+                    self._reject(chunk[0], "delete", exc)
+                else:
+                    self._resolve(chunk[0], "delete", value)
+                version = getattr(engine, "version", None)
+                if version is not None:
+                    self._stats["barrier_version"] = version
+                continue
+            pre = getattr(engine, "version", None)
+            exc: Optional[BaseException] = None
+            results = None
+            try:
+                results = await self._run(
+                    partial(
+                        engine.delete_batch,
+                        np.asarray(keys, dtype=np.float64),
+                        missing="ignore",
+                        default=_MISS,
+                    )
+                )
+            except Exception as caught:
+                exc = caught
+            if exc is None:
+                for op, value in zip(chunk, results):
+                    if value is _MISS:
+                        self._reject(op, "delete", KeyNotFoundError(op[0]))
+                    else:
+                        self._resolve(op, "delete", value)
+            elif pre is None or getattr(engine, "version", None) == pre:
+                # Nothing applied: safe to retry per key in isolation.
+                self._stats["scalar_fallbacks"] += 1
+                outcomes = await self._run(
+                    _each, engine.delete, [(k,) for k in keys]
+                )
+                for op, (ok, res) in zip(chunk, outcomes):
+                    (self._resolve if ok else self._reject)(op, "delete", res)
+            else:
+                # Partial application is possible; failing the whole chunk
+                # is the only answer that cannot double-delete.
+                for op in chunk:
+                    self._reject(op, "delete", exc)
             version = getattr(engine, "version", None)
             if version is not None:
                 self._stats["barrier_version"] = version

@@ -1,138 +1,31 @@
-"""The engine protocol: what the serving layer requires of a backend.
+"""Deprecated location of the engine protocols (moved to ``repro.api``).
 
-The server and batcher are engine-agnostic by construction — they dispatch
-structurally on the verbs below, which is why the in-process
-:class:`~repro.engine.ShardedEngine` and the multi-process
-:class:`~repro.cluster.ClusterEngine` serve through the identical
-front-end. :class:`BatchEngine` writes that contract down as a
-``typing.Protocol`` so it is checkable (``isinstance`` at runtime, any
-structural type checker statically) instead of folklore.
-
-Two optional extensions are feature-detected rather than required:
-
-* ``warm()`` — pre-build read snapshots (``Server.warm`` no-ops without);
-* per-shard dispatch — ``shard_dispatch_safe`` / ``route_shards`` /
-  ``get_batch_shard`` (:class:`ShardDispatchEngine`), which lets the
-  batcher answer each shard's sub-batch as an independent task; engines
-  that cannot take concurrent per-shard calls simply leave
-  ``shard_dispatch_safe`` False/absent.
+The structural engine contracts outgrew the serving layer: they now define
+what *every* backend implements, not just what the server consumes, so
+they live in :mod:`repro.api.protocol` alongside the factory that
+constructs backends against them. This module re-exports
+:class:`~repro.api.protocol.BatchEngine`,
+:class:`~repro.api.protocol.EngineProtocol` and
+:class:`~repro.api.protocol.ShardDispatchEngine` for one release and
+warns on import — update imports to ``repro.api`` (or the re-exports on
+the top-level ``repro`` package).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+import warnings
 
-import numpy as np
+from repro.api.protocol import (  # noqa: F401
+    BatchEngine,
+    EngineProtocol,
+    ShardDispatchEngine,
+)
 
-__all__ = ["BatchEngine", "ShardDispatchEngine"]
+__all__ = ["BatchEngine", "EngineProtocol", "ShardDispatchEngine"]
 
-
-@runtime_checkable
-class BatchEngine(Protocol):
-    """Structural interface the :class:`~repro.serve.Server` dispatches on.
-
-    Scalar verbs serve the per-request fallback paths; batch verbs serve
-    the micro-batched hot path; ``version`` is the monotonic mutation
-    stamp the read-your-writes barrier records.
-    """
-
-    def get(self, key: Any, default: Any = None) -> Any:
-        """Scalar point lookup returning the value or ``default``."""
-        ...
-
-    def insert(self, key: float, value: Any = None) -> None:
-        """Scalar insert of ``key -> value``."""
-        ...
-
-    def range_arrays(
-        self,
-        lo: Optional[float] = None,
-        hi: Optional[float] = None,
-        include_lo: bool = True,
-        include_hi: bool = True,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """One range scan as ``(keys, values)`` arrays."""
-        ...
-
-    def get_batch(self, queries, default: Any = None) -> np.ndarray:
-        """Vectorized point lookups, one slot per query in request order.
-
-        Parameters
-        ----------
-        queries:
-            Key batch (float64-coercible); ``default`` fills miss slots.
-
-        Returns
-        -------
-        numpy.ndarray
-            One value per query.
-        """
-        ...
-
-    def range_batch(
-        self, bounds, include_lo: bool = True, include_hi: bool = True
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """One ``(keys, values)`` pair per ``[lo, hi]`` bounds row.
-
-        Parameters
-        ----------
-        bounds:
-            ``(n, 2)`` array of inclusive key bounds.
-
-        Returns
-        -------
-        list of (numpy.ndarray, numpy.ndarray)
-            Matching rows per bounds row, in key order.
-        """
-        ...
-
-    def insert_batch(self, keys, values=None) -> None:
-        """Bulk insert; returns once every key is applied (the fence).
-
-        Parameters
-        ----------
-        keys:
-            Keys to insert; ``values`` are aligned payloads (``None`` =
-            engine-assigned row ids).
-        """
-        ...
-
-    @property
-    def version(self) -> int:
-        """Monotonic engine-wide mutation stamp (the flush barrier)."""
-        ...
-
-
-@runtime_checkable
-class ShardDispatchEngine(BatchEngine, Protocol):
-    """A :class:`BatchEngine` whose shards answer reads independently.
-
-    ``shard_dispatch_safe`` being True asserts that concurrent
-    ``get_batch_shard`` calls for *different* shards are safe (each shard
-    has its own state/transport) — the property that lets
-    :class:`~repro.serve.batcher.RequestBatcher` overlap shards in time.
-    """
-
-    #: Whether concurrent per-shard reads are safe (see class docstring).
-    shard_dispatch_safe: bool
-
-    def route_shards(self, queries) -> np.ndarray:
-        """Owning shard id per query key."""
-        ...
-
-    def get_batch_shard(self, sid: int, queries, default: Any = None) -> np.ndarray:
-        """Answer one shard's sub-batch (all queries must route to ``sid``).
-
-        Parameters
-        ----------
-        sid:
-            Shard id; ``queries`` is that shard's key sub-batch and
-            ``default`` fills miss slots.
-
-        Returns
-        -------
-        numpy.ndarray
-            One value per query, as :meth:`BatchEngine.get_batch` would
-            fill those slots.
-        """
-        ...
+warnings.warn(
+    "repro.serve.protocol has moved to repro.api.protocol; this "
+    "compatibility shim will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)

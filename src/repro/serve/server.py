@@ -31,10 +31,10 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.api.protocol import BatchEngine
 from repro.core.errors import InvalidParameterError
 from repro.serve.batcher import RequestBatcher
 from repro.serve.errors import ServerClosedError, ServerOverloadedError
-from repro.serve.protocol import BatchEngine
 from repro.serve.stats import LatencySeries
 
 __all__ = ["Server"]
@@ -47,7 +47,7 @@ class Server:
     ----------
     engine:
         The index being served — anything satisfying the
-        :class:`~repro.serve.protocol.BatchEngine` protocol: a
+        :class:`~repro.api.protocol.BatchEngine` protocol: a
         :class:`~repro.engine.ShardedEngine`, a multi-process
         :class:`~repro.cluster.ClusterEngine`, or any object with the
         same scalar + batch verbs.
@@ -129,7 +129,7 @@ class Server:
             )
         self._latency: Dict[str, LatencySeries] = {
             kind: LatencySeries(max(latency_window, 1))
-            for kind in ("get", "range", "insert")
+            for kind in ("get", "range", "insert", "delete")
         }
         self._batcher = RequestBatcher(
             engine,
@@ -253,6 +253,20 @@ class Server:
         if self._max_pending is None:
             return self._batcher.submit_insert(key, value)
         return self._bounded(self._batcher.submit_insert, key, value)
+
+    def delete(self, key: float) -> Any:
+        """Delete one occurrence of ``key``: awaitable of its value.
+
+        Coalesced through the batcher's ``delete_batch`` dispatch under
+        the same read-your-writes fence as inserts: a subsequent
+        ``get``/``range`` touching this key is guaranteed not to observe
+        the removed occurrence. An absent key rejects only this caller's
+        awaitable with :class:`~repro.core.errors.KeyNotFoundError`."""
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if self._max_pending is None:
+            return self._batcher.submit_delete(key)
+        return self._bounded(self._batcher.submit_delete, key)
 
     async def _bounded(self, submit: Any, *args: Any) -> Any:
         """Admission-controlled submission (only built when ``max_pending``

@@ -1,0 +1,95 @@
+"""The declarative factory: config validation, backend selection, knobs."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterEngine,
+    EngineConfig,
+    EngineProtocol,
+    ShardedEngine,
+    open_engine,
+    open_server,
+)
+from repro.baselines import FixedPageIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.fiting_tree import FITingTree
+from repro.serve import Server
+
+KEYS = np.sort(np.random.default_rng(0).uniform(0, 1e5, 2_000))
+
+
+class TestConfig:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            open_engine(KEYS, executor="gpu")
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EngineConfig(index="hash").validate()
+
+    def test_overrides_do_not_mutate_base_config(self):
+        base = EngineConfig(n_shards=4)
+        engine = open_engine(KEYS, config=base, n_shards=2)
+        assert engine.n_shards == 2
+        assert base.n_shards == 4
+
+
+class TestOpenEngine:
+    def test_sharded_default(self):
+        engine = open_engine(KEYS, error=32.0)
+        assert isinstance(engine, ShardedEngine)
+        assert isinstance(engine, EngineProtocol)
+        assert engine.n_shards == 4
+        assert isinstance(engine._shards[0], FITingTree)
+        assert (engine.get_batch(KEYS[:64]) == np.arange(64)).all()
+
+    def test_single_forces_one_shard(self):
+        engine = open_engine(KEYS, executor="single", n_shards=8)
+        assert engine.n_shards == 1
+
+    def test_fixed_page_index_kind(self):
+        engine = open_engine(KEYS, index="fixed", page_size=64, n_shards=2)
+        assert isinstance(engine._shards[0], FixedPageIndex)
+        assert engine._shards[0].page_size == 64
+        assert (engine.get_batch(KEYS[:64]) == np.arange(64)).all()
+
+    def test_index_kwargs_forwarded(self):
+        engine = open_engine(KEYS, index_kwargs={"search": "linear"})
+        assert engine._shards[0].search_mode == "linear"
+
+    def test_values_and_empty_build(self):
+        values = np.arange(KEYS.size) * 10
+        engine = open_engine(KEYS, values, n_shards=2)
+        assert engine.get(KEYS[7]) == 70
+        empty = open_engine()
+        empty.insert_batch([3.0, 1.0])
+        assert len(empty) == 2
+
+    def test_cluster_executor_full_crud(self):
+        with open_engine(KEYS, executor="cluster", n_shards=2) as engine:
+            assert isinstance(engine, ClusterEngine)
+            assert isinstance(engine, EngineProtocol)
+            assert (engine.get_batch(KEYS[:32]) == np.arange(32)).all()
+            assert (engine.delete_batch(KEYS[:8]) == np.arange(8)).all()
+            assert len(engine) == KEYS.size - 8
+
+
+class TestOpenServer:
+    def test_server_wraps_configured_engine(self):
+        server = open_server(KEYS, n_shards=2, max_batch=128, max_pending=64)
+        assert isinstance(server, Server)
+        assert isinstance(server.engine, ShardedEngine)
+        assert server._batcher.max_batch == 128
+        assert server._max_pending == 64
+
+    def test_server_serves(self):
+        import asyncio
+
+        async def main():
+            server = open_server(KEYS, n_shards=2)
+            async with server:
+                assert await server.get(KEYS[5]) == 5
+                assert await server.delete(KEYS[5]) == 5
+
+        asyncio.run(main())

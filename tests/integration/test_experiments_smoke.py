@@ -135,6 +135,7 @@ def test_engine(tmp_path):
     modes = {r["mode"] for r in result.rows}
     assert modes == {
         "scalar", "batch", "sharded-batch", "insert-per-key", "insert-batch",
+        "delete-per-key", "delete-batch",
     }
     payload = json.loads(out.read_text())
     assert payload["experiment"] == "engine"
@@ -142,18 +143,45 @@ def test_engine(tmp_path):
     for row in payload["rows"]:
         assert row["wall_ns_per_op"] > 0
     # The write experiment records the flat-view residency model per
-    # dataset: pages + combined view == ~2x table data once views warm.
+    # dataset: pages + combined view == ~2x table data once views warm —
+    # including the post-delete report of the surviving bulk engine.
     assert set(payload["residency"]) == {"uniform", "iot"}
     for report in payload["residency"].values():
         assert report["page_bytes"] > 0
         assert 1.0 <= report["residency_ratio"] <= 2.5
-    # Write modes exercise the bulk path end to end even at toy n; their
-    # speedups are normalized to the per-key apply path, not scalar gets.
-    insert_rows = [r for r in payload["rows"] if r["mode"] == "insert-batch"]
-    assert len(insert_rows) == 2
-    for row in insert_rows:
-        assert row["baseline"] == "insert-per-key"
-        assert row["speedup_vs_baseline"] > 0
+    # Write modes exercise the bulk paths end to end even at toy n; their
+    # speedups are normalized to their per-key apply paths, not scalar
+    # gets.
+    for bulk_mode, per_key_mode in (
+        ("insert-batch", "insert-per-key"),
+        ("delete-batch", "delete-per-key"),
+    ):
+        bulk_rows = [r for r in payload["rows"] if r["mode"] == bulk_mode]
+        assert len(bulk_rows) == 2
+        for row in bulk_rows:
+            assert row["baseline"] == per_key_mode
+            assert row["speedup_vs_baseline"] > 0
+    for report in payload["residency"].values():
+        assert report["post_delete"]["page_bytes"] > 0
+
+
+def test_engine_modes_filter(tmp_path):
+    """--modes restricts both the measurements and the emitted rows."""
+    out = tmp_path / "BENCH_engine.json"
+    result = rows_of(
+        "engine", n=2_000, datasets=("uniform",),
+        modes="delete-per-key,delete-batch", out=str(out),
+    )
+    assert {r["mode"] for r in result.rows} == {
+        "delete-per-key", "delete-batch",
+    }
+    payload = json.loads(out.read_text())
+    assert payload["params"]["modes"] == ["delete-per-key", "delete-batch"]
+    assert {r["mode"] for r in payload["rows"]} == {
+        "delete-per-key", "delete-batch",
+    }
+    with pytest.raises(ValueError):
+        rows_of("engine", n=2_000, modes="warp-drive", out=None)
 
 
 def test_cluster(tmp_path):

@@ -5,8 +5,8 @@ An AST-based, zero-dependency substitute for ``pydocstyle``/``ruff`` D-rules
 (the offline toolchain this repo targets has neither). Scoped to the
 packages whose docstrings the serving stack's users read:
 
-* ``src/repro/engine/``, ``src/repro/serve/`` and ``src/repro/cluster/``
-  (every module), and
+* ``src/repro/api/``, ``src/repro/engine/``, ``src/repro/serve/`` and
+  ``src/repro/cluster/`` (every module), and
 * ``src/repro/core/paged_index.py`` (the shared index base).
 
 Rules enforced:
@@ -35,6 +35,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 #: Files/directories whose public API the gate covers.
 TARGETS = (
+    "src/repro/api",
     "src/repro/cluster",
     "src/repro/engine",
     "src/repro/serve",
@@ -48,6 +49,9 @@ REQUIRED_SECTIONS = {
     "get_batch_shard": ("Parameters", "Returns"),
     "range_batch": ("Parameters", "Returns"),
     "insert_batch": ("Parameters",),
+    "delete_batch": ("Parameters", "Returns"),
+    "open_engine": ("Parameters", "Returns"),
+    "open_server": ("Parameters", "Returns"),
     "slice_pages": ("Parameters", "Returns"),
     "residency_report": ("Returns",),
     "to_state": ("Returns",),

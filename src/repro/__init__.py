@@ -70,6 +70,7 @@ from repro.core import (
 from repro.cluster import ClusterEngine, ClusterError
 from repro.engine import FlatView, ShardedEngine
 from repro.memsim import AccessCounter, CacheSim, LatencyModel
+from repro.obs import Telemetry
 
 __version__ = "1.0.0"
 
@@ -95,6 +96,7 @@ __all__ = [
     "SecondaryFITingTree",
     "Segment",
     "StringFITingTree",
+    "Telemetry",
     "exact_cone",
     "load_index",
     "open_engine",

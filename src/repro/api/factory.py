@@ -26,12 +26,15 @@ any executor::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.obs import MODES as _TELEMETRY_MODES
+from repro.obs import Telemetry
 
 __all__ = ["EngineConfig", "open_engine", "open_server"]
 
@@ -81,6 +84,12 @@ class EngineConfig:
     serve_executor, shard_concurrency, latency_window:
         Serve-layer knobs applied by :func:`open_server`; see
         :class:`~repro.serve.Server`.
+    telemetry:
+        ``"off"`` (default), ``"metrics"``, ``"full"``, or a
+        :class:`repro.obs.Telemetry` instance to share a registry across
+        engines. Resolved once per :func:`open_engine` call; the server
+        built by :func:`open_server` adopts the engine's bundle, so both
+        layers report into the same registry.
     """
 
     executor: str = "sharded"
@@ -103,9 +112,11 @@ class EngineConfig:
     serve_executor: Any = None
     shard_concurrency: int = 0
     latency_window: int = 100_000
+    # -- observability --
+    telemetry: Any = "off"
 
     def validate(self) -> None:
-        """Reject unknown executor/index kinds with a typed error."""
+        """Reject unknown executor/index/telemetry kinds with a typed error."""
         if self.executor not in _EXECUTORS:
             raise InvalidParameterError(
                 f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
@@ -114,6 +125,95 @@ class EngineConfig:
             raise InvalidParameterError(
                 f"index must be one of {_INDEXES}, got {self.index!r}"
             )
+        if not isinstance(self.telemetry, Telemetry) and self.telemetry not in (
+            None,
+            *_TELEMETRY_MODES,
+        ):
+            raise InvalidParameterError(
+                f"telemetry must be one of {_TELEMETRY_MODES} or a Telemetry "
+                f"instance, got {self.telemetry!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This config as a plain JSON-able dict (see :meth:`to_json`).
+
+        Returns
+        -------
+        dict
+            One entry per dataclass field. A live :class:`Telemetry`
+            instance collapses to its mode string (the registry itself is
+            runtime state, not configuration).
+
+        Raises
+        ------
+        InvalidParameterError
+            When an opaque runtime object was set on ``mp_context`` or
+            ``serve_executor`` (only ``None`` or string settings of those
+            fields serialize).
+        """
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["index_kwargs"] = dict(self.index_kwargs)
+        if isinstance(out["telemetry"], Telemetry):
+            out["telemetry"] = out["telemetry"].mode
+        for name in ("mp_context", "serve_executor"):
+            value = out[name]
+            if value is not None and not isinstance(value, str):
+                raise InvalidParameterError(
+                    f"{name}={value!r} is a runtime object and does not "
+                    "serialize; set it on the config after from_json()"
+                )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EngineConfig":
+        """Rebuild a validated config from :meth:`to_dict` output.
+
+        Parameters
+        ----------
+        data:
+            A mapping of field names to values; unknown keys are rejected
+            (they would otherwise be silently dropped — a typo in a config
+            file must fail loudly).
+
+        Returns
+        -------
+        EngineConfig
+            The validated config.
+        """
+        if not isinstance(data, dict):
+            raise InvalidParameterError(
+                f"config data must be a dict, got {type(data).__name__}"
+            )
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown EngineConfig field(s): {', '.join(unknown)}"
+            )
+        config = cls(**data)
+        config.validate()
+        return config
+
+    def to_json(self) -> str:
+        """Serialize this config as a JSON object string.
+
+        ``EngineConfig.from_json(cfg.to_json())`` round-trips every field
+        (telemetry instances collapse to their mode string).
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineConfig":
+        """Rebuild a validated config from a :meth:`to_json` string."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise InvalidParameterError(f"invalid config JSON: {exc}") from exc
+        return cls.from_dict(data)
 
     def index_factory(self):
         """The per-shard ``f(keys, values) -> PagedIndexBase`` this config
@@ -183,6 +283,7 @@ def open_engine(keys=None, values=None, *, config: Optional[EngineConfig] = None
     """
     config = _resolved(config, overrides)
     n_shards = 1 if config.executor == "single" else config.n_shards
+    telemetry = Telemetry.from_mode(config.telemetry)
     if config.executor == "cluster":
         from repro.cluster import ClusterEngine
         from repro.cluster.shm import DEFAULT_LANE_CAPACITY
@@ -197,6 +298,7 @@ def open_engine(keys=None, values=None, *, config: Optional[EngineConfig] = None
             lane_capacity=config.lane_capacity or DEFAULT_LANE_CAPACITY,
             op_timeout=config.op_timeout,
             index_factory=config.index_factory(),
+            telemetry=telemetry,
         )
     from repro.engine import ShardedEngine
 
@@ -205,6 +307,7 @@ def open_engine(keys=None, values=None, *, config: Optional[EngineConfig] = None
         values,
         n_shards=n_shards,
         index_factory=config.index_factory(),
+        telemetry=telemetry,
     )
 
 

@@ -99,6 +99,12 @@ class ClusterEngine:
     op_timeout:
         Seconds to wait for a worker's reply before declaring it hung
         (raises :class:`~repro.cluster.errors.ClusterError`).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle. ``None`` (default)
+        keeps the wire protocol and hot paths exactly as before. In
+        ``"full"`` mode, ``get_batch`` frames carry the trace context
+        across the shm boundary and worker replies carry back
+        ``worker.compute`` spans, stitched into the parent's tracer.
 
     Examples
     --------
@@ -126,6 +132,7 @@ class ClusterEngine:
         mp_context: Any = None,
         lane_capacity: int = DEFAULT_LANE_CAPACITY,
         op_timeout: float = 120.0,
+        telemetry: Any = None,
         **index_kwargs: Any,
     ) -> None:
         proto = ShardedEngine(
@@ -142,6 +149,7 @@ class ClusterEngine:
             mp_context=mp_context,
             lane_capacity=lane_capacity,
             op_timeout=op_timeout,
+            telemetry=telemetry,
         )
 
     @classmethod
@@ -152,6 +160,7 @@ class ClusterEngine:
         mp_context: Any = None,
         lane_capacity: int = DEFAULT_LANE_CAPACITY,
         op_timeout: float = 120.0,
+        telemetry: Any = None,
     ) -> "ClusterEngine":
         """Promote a live in-process engine to a multi-process cluster.
 
@@ -162,8 +171,9 @@ class ClusterEngine:
         ----------
         engine:
             The :class:`~repro.engine.ShardedEngine` to snapshot.
-        mp_context, lane_capacity, op_timeout:
-            As for the constructor.
+        mp_context, lane_capacity, op_timeout, telemetry:
+            As for the constructor (the source engine's own telemetry, if
+            any, is not adopted).
 
         Returns
         -------
@@ -176,6 +186,7 @@ class ClusterEngine:
             mp_context=mp_context,
             lane_capacity=lane_capacity,
             op_timeout=op_timeout,
+            telemetry=telemetry,
         )
         return obj
 
@@ -184,7 +195,12 @@ class ClusterEngine:
     # ------------------------------------------------------------------
 
     def _boot(self, states: Dict[str, Any], *, mp_context, lane_capacity,
-              op_timeout) -> None:
+              op_timeout, telemetry=None) -> None:
+        self.telemetry = telemetry
+        self._telemetry = telemetry
+        self._obs_ops: Optional[Dict[str, Tuple[Any, Any]]] = None
+        if telemetry is not None:
+            self._register_telemetry(telemetry)
         if isinstance(mp_context, str) or mp_context is None:
             method = mp_context or (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -243,6 +259,57 @@ class ClusterEngine:
         except BaseException:
             self.close()
             raise
+
+    def _register_telemetry(self, telemetry: Any) -> None:
+        """Wire the cluster's counters and pull-based sources into the
+        telemetry registry (called once from ``_boot``)."""
+        reg = telemetry.registry
+        ops = reg.counter(
+            "repro_engine_ops_total", "Engine batch-verb calls.",
+            labels=("op",),
+        )
+        keys_fam = reg.counter(
+            "repro_engine_keys_total",
+            "Keys processed by engine batch verbs.", labels=("op",),
+        )
+        self._obs_ops = {
+            op: (ops.labels(op), keys_fam.labels(op))
+            for op in ("get_batch", "range_batch", "insert_batch",
+                       "delete_batch")
+        }
+        reg.register_callback(
+            "repro_cluster_ipc", self._collect_ipc,
+            "Cluster transport counters summed across workers.",
+            labels=("counter",),
+        )
+        reg.register_callback(
+            "repro_cluster_size", self._collect_size,
+            "Cluster size gauges from parent-side cached state "
+            "(no worker round-trip at collection time).",
+            labels=("field",),
+        )
+
+    def _collect_ipc(self) -> Dict[str, float]:
+        return {
+            key: sum(w.ipc[key] for w in self._workers)
+            for key in ("batches", "pickle_fallbacks", "lane_growths")
+        }
+
+    def _collect_size(self) -> Dict[str, float]:
+        return {
+            "n": self._n,
+            "n_shards": self.n_shards,
+            "version": self.version,
+            "workers_alive": sum(
+                1 for w in self._workers if w.process.is_alive()
+            ),
+        }
+
+    def _obs_count(self, op: str, n_keys: int) -> None:
+        """Bump the op/key counters for one batch verb call (telemetry on)."""
+        c_ops, c_keys = self._obs_ops[op]
+        c_ops.inc()
+        c_keys.inc(n_keys)
 
     @property
     def closed(self) -> bool:
@@ -430,16 +497,22 @@ class ClusterEngine:
         Returns
         -------
         dict
-            The :meth:`ShardedEngine.stats` shape — ``n``, ``n_shards``,
-            ``cuts``, ``model_bytes``, ``n_pages``, ``buffered_elements``,
-            ``shards`` — plus cluster extras: ``workers`` (pid/alive per
-            shard) and ``ipc`` (batch, pickle-fallback and lane-growth
-            counters).
+            The backend-independent :meth:`ShardedEngine.stats` schema —
+            same top-level keys, pinned by the ``tests/api`` stats-schema
+            conformance suite. Aggregates (``n``, ``n_pages``,
+            ``buffered_elements``, ``model_bytes``, ``page_rebuilds``)
+            sum live worker shard stats exactly as the in-process engine
+            sums its shards; ``workers`` (pid/alive per shard) and
+            ``ipc`` (batch, pickle-fallback and lane-growth counters)
+            are live here instead of the in-process zeros. The flat-view
+            cache lives worker-side in this backend, so the parent-level
+            ``view_*`` counters report zero.
         """
         self._check_open()
         per_shard = self._broadcast(("stats",))
         self._n = sum(s["n"] for s in per_shard)
         return {
+            "backend": "cluster",
             "n": self._n,
             "n_shards": self.n_shards,
             "cuts": self.cuts.tolist(),
@@ -447,6 +520,12 @@ class ClusterEngine:
             + 8 * self.cuts.size,
             "n_pages": sum(s["n_pages"] for s in per_shard),
             "buffered_elements": sum(s["buffered_elements"] for s in per_shard),
+            "page_rebuilds": sum(s["page_rebuilds"] for s in per_shard),
+            "view_hits": 0,
+            "view_builds": 0,
+            "view_hit_rate": 0.0,
+            "view_patches": 0,
+            "view_full_rebuilds": 0,
             "shards": per_shard,
             "workers": [
                 {"pid": w.process.pid, "alive": w.process.is_alive()}
@@ -537,6 +616,30 @@ class ClusterEngine:
         """
         self._check_open()
         q = np.ascontiguousarray(queries, dtype=np.float64)
+        tel = self._telemetry
+        if tel is None:
+            return self._get_batch_impl(q, default, None)
+        if tel.tracer is None:
+            out = self._get_batch_impl(q, default, None)
+        else:
+            with tel.tracer.span("cluster.get_batch", n=int(q.size)) as sp:
+                out = self._get_batch_impl(
+                    q, default, (tel.tracer, (sp.trace_id, sp.span_id))
+                )
+        self._obs_count("get_batch", int(q.size))
+        return out
+
+    def _get_batch_impl(
+        self, q: np.ndarray, default: Any, trace: Optional[Tuple]
+    ) -> np.ndarray:
+        """The fenced dispatch round behind :meth:`get_batch`.
+
+        ``trace`` is ``None`` (untraced — wire format unchanged) or
+        ``(tracer, (trace_id, parent_span_id))``: the context rides each
+        ``get_batch`` frame, worker replies carry back their
+        ``worker.compute`` spans for stitching, and the parent-side
+        decode/scatter is recorded as a ``cluster.gather`` child span.
+        """
         if q.size == 0:
             # Matches the in-process engine's warm combined-view path: an
             # empty batch over a populated engine keeps the values dtype.
@@ -547,14 +650,27 @@ class ClusterEngine:
             idx = np.flatnonzero(sid == i)
             if idx.size:
                 groups.append((i, idx))
+        ctx = trace[1] if trace is not None else None
         self._acquire_all()
         try:
             replies = self._round(
                 [
-                    (i, lambda i=i, idx=idx: self._send_get(i, q[idx]))
+                    (i, lambda i=i, idx=idx: self._send_get(i, q[idx], ctx))
                     for i, idx in groups
                 ]
             )
+            if trace is not None:
+                tracer = trace[0]
+                for i, _idx in groups:
+                    reply = replies[i]
+                    if len(reply) > 3 and reply[3]:
+                        tracer.ingest(reply[3])
+                with tracer.span("cluster.gather", shards=len(groups)):
+                    parts = [
+                        (idx, self._decode_get(i, replies[i][2]))
+                        for i, idx in groups
+                    ]
+                    return self._scatter(q.size, parts, default)
             parts = [
                 (idx, self._decode_get(i, replies[i][2])) for i, idx in groups
             ]
@@ -591,21 +707,34 @@ class ClusterEngine:
         q = np.ascontiguousarray(queries, dtype=np.float64)
         if q.size == 0:
             return np.empty(0, dtype=object)
+        tel = self._telemetry
+        # Ambient trace context, when any: present on the inline serve
+        # dispatch path; executor threads carry an empty context, so the
+        # threaded path stays traced only down to its dispatch span.
+        ctx = tel.ctx() if tel is not None else None
         worker = self._workers[sid]
         with worker.lock:
-            self._send_get(sid, q)
-            values, found = self._decode_get(sid, self._recv(sid)[2])
+            self._send_get(sid, q, ctx)
+            reply = self._recv(sid)
+            if ctx is not None and len(reply) > 3 and reply[3]:
+                tel.tracer.ingest(reply[3])
+            values, found = self._decode_get(sid, reply[2])
             return self._scatter(
                 q.size, [(np.arange(q.size), (values, found))], default
             )
 
-    def _send_get(self, sid: int, q: np.ndarray) -> None:
+    def _send_get(
+        self, sid: int, q: np.ndarray, trace_ctx: Optional[Tuple] = None
+    ) -> None:
         worker = self._workers[sid]
         resp_bytes = q.size * (self._values_dtype.itemsize + 1) + 64
         self._ensure_lanes(sid, q.nbytes, resp_bytes)
         descr = worker.req.write([q])[0]
         worker.ipc["batches"] += 1
-        self._send(sid, ("get_batch", (worker.req.name, worker.resp.name), descr))
+        frame: Tuple = ("get_batch", (worker.req.name, worker.resp.name), descr)
+        if trace_ctx is not None:
+            frame = frame + (trace_ctx,)
+        self._send(sid, frame)
 
     def _decode_get(self, sid: int, payload: Tuple) -> Tuple[Any, Optional[np.ndarray]]:
         # Returned arrays are zero-copy views of the response lane; the
@@ -766,6 +895,8 @@ class ClusterEngine:
                         np.concatenate([v for _, v in contributions]),
                     )
                 )
+        if self._telemetry is not None:
+            self._obs_count("range_batch", n_bounds)
         return out
 
     def _send_ranges(
@@ -882,6 +1013,8 @@ class ClusterEngine:
         values = self._resolve_batch_values(keys, values)
         order = np.argsort(keys, kind="stable")
         self._insert_sorted(keys[order], values[order])
+        if self._telemetry is not None:
+            self._obs_count("insert_batch", int(keys.size))
 
     def _insert_sorted(self, keys: np.ndarray, values: np.ndarray) -> None:
         self._check_open()
@@ -1021,6 +1154,8 @@ class ClusterEngine:
         finally:
             self._release_all()
         self._n -= hits
+        if self._telemetry is not None:
+            self._obs_count("delete_batch", int(keys.size))
         return out
 
     def _send_delete(self, sid: int, keys: np.ndarray, missing: str) -> None:

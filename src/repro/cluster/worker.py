@@ -10,7 +10,11 @@ carries only control frames.
 Protocol (parent → worker), one reply per frame:
 
 ==============  ====================================================
-``get_batch``   answer a key batch; replies values + found mask
+``get_batch``   answer a key batch; replies values + found mask.
+                A traced frame appends ``(trace_id, parent_span_id)``
+                and its reply appends recorded span dicts
+                (:func:`repro.obs.trace.span_record`) — untraced
+                frames and replies keep their original 3-tuple shape
 ``range_batch`` answer ``[lo, hi]`` scans; replies concatenated rows
 ``insert_batch``  apply a sorted per-shard chunk (the write fence:
                 the reply is not sent until the mutation is applied)
@@ -32,6 +36,8 @@ or when the parent disappears (pipe EOF).
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -40,6 +46,7 @@ from repro.cluster.shm import ShmLane, attach_lane
 from repro.cluster.snapshot import index_from_state
 from repro.core.errors import InvalidParameterError
 from repro.core.page import exact_typed_array
+from repro.obs.trace import span_record
 
 __all__ = ["shard_worker_main"]
 
@@ -50,11 +57,18 @@ _MISS = object()
 class _ShardServer:
     """One worker's state: the rebuilt shard index plus cached lanes."""
 
-    def __init__(self, state: Dict[str, Any], lo: Optional[float], hi: Optional[float]):
+    def __init__(
+        self,
+        state: Dict[str, Any],
+        lo: Optional[float],
+        hi: Optional[float],
+        shard_id: int = -1,
+    ):
         self.index = index_from_state(state)
         self.values_dtype = np.dtype(state["values_dtype"])
         self.lo = lo  # owning cut range, for validate()
         self.hi = hi
+        self.shard_id = shard_id  # stamped into traced-reply spans
         self._lanes: Dict[str, Tuple[str, ShmLane]] = {}
 
     # -- lanes ---------------------------------------------------------
@@ -228,7 +242,7 @@ def shard_worker_main(
             from repro.cluster.snapshot import register_index_class
 
             register_index_class(index_cls)
-        server = _ShardServer(state, lo, hi)
+        server = _ShardServer(state, lo, hi, shard_id)
     except BaseException as exc:  # surface rebuild failures to the parent
         try:
             conn.send(("err", 0, exc))
@@ -264,13 +278,34 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
     """Execute one control frame; return the reply tuple."""
     verb = frame[0]
     if verb == "get_batch":
-        _, (req_name, resp_name), q_descr = frame
+        _, (req_name, resp_name), q_descr = frame[:3]
+        # A traced frame carries (trace_id, parent_span_id) as a fourth
+        # element; untraced frames keep the original 3-tuple shape so the
+        # telemetry-off wire format is byte-identical to before.
+        trace_ctx = frame[3] if len(frame) > 3 else None
         req = server.lane("req", req_name)
         resp = server.lane("resp", resp_name)
         (q,) = req.read([q_descr])
+        if trace_ctx is None:
+            result, found = server.get_batch(q)
+            payload = server.encode_get_reply(resp, result, found)
+            return ("ok", server.index.version, payload)
+        t0 = time.perf_counter()
         result, found = server.get_batch(q)
+        compute_s = time.perf_counter() - t0
         payload = server.encode_get_reply(resp, result, found)
-        return ("ok", server.index.version, payload)
+        spans = [
+            span_record(
+                "worker.compute",
+                trace_ctx,
+                t0,
+                compute_s,
+                shard=server.shard_id,
+                pid=os.getpid(),
+                n=int(q.size),
+            )
+        ]
+        return ("ok", server.index.version, payload, spans)
     if verb == "range_batch":
         _, (req_name, resp_name), bounds_descr, include_lo, include_hi = frame
         req = server.lane("req", req_name)

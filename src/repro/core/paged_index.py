@@ -88,6 +88,9 @@ class PagedIndexBase:
         #: it to decide when to rebuild. Bumped by every write path,
         #: including buffered inserts that leave the page directory intact.
         self._version = 0
+        #: Lifetime count of buffer-merge page rebuilds (Algorithm 4) —
+        #: the write-amplification signal telemetry exports per shard.
+        self._page_rebuilds = 0
 
         if keys is None:
             keys = np.empty(0, dtype=np.float64)
@@ -166,6 +169,11 @@ class PagedIndexBase:
         for _, page in self._tree.items():
             yield page
 
+    @property
+    def page_rebuilds(self) -> int:
+        """Lifetime count of buffer-merge page rebuilds (Algorithm 4)."""
+        return self._page_rebuilds
+
     def stats(self) -> Dict[str, Any]:
         """Summary statistics used by benchmarks and examples."""
         buffered = sum(page.n_buffer for page in self.pages())
@@ -176,6 +184,7 @@ class PagedIndexBase:
             "model_bytes": self.model_bytes(),
             "buffer_capacity": self.buffer_capacity,
             "buffered_elements": buffered,
+            "page_rebuilds": self._page_rebuilds,
             "avg_page_len": (self._n / self.n_pages) if self.n_pages else 0.0,
         }
 
@@ -719,6 +728,7 @@ class PagedIndexBase:
         self, tree_key: Tuple[float, float], page: SegmentPage
     ) -> None:
         """Merge a page's buffer and re-partition it (Algorithm 4, l. 5-9)."""
+        self._page_rebuilds += 1
         merged_keys, merged_values = page.merged_arrays()
         if self.counter is not None:
             self.counter.split()

@@ -68,6 +68,13 @@ class ShardedEngine:
     error, buffer_capacity:
         Passed to the default factory (ignored when ``index_factory`` is
         given).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle. ``None`` (default)
+        disables instrumentation entirely — hot paths pay one
+        ``is not None`` test per batch. When set, batch-verb call/key
+        counters update per call and the view-cache / size / residency
+        state is exported through registry callbacks (read only at
+        collection time).
 
     Examples
     --------
@@ -87,6 +94,7 @@ class ShardedEngine:
         index_factory: Optional[Callable[..., Any]] = None,
         error: float = 64.0,
         buffer_capacity: Optional[int] = None,
+        telemetry: Any = None,
         **index_kwargs: Any,
     ) -> None:
         if keys is None:
@@ -135,6 +143,63 @@ class ShardedEngine:
         #: shard's slice inside the combined arrays.
         self._combined_shard_pages: Optional[List[int]] = None
         self._stale_reads = 0
+        self.telemetry = telemetry
+        self._telemetry = telemetry
+        self._obs_ops: Optional[Dict[str, Tuple[Any, Any]]] = None
+        if telemetry is not None:
+            self._register_telemetry(telemetry)
+
+    def _register_telemetry(self, telemetry: Any) -> None:
+        """Wire this engine's counters and pull-based sources into the
+        telemetry registry (called once from ``__init__``)."""
+        reg = telemetry.registry
+        ops = reg.counter(
+            "repro_engine_ops_total", "Engine batch-verb calls.",
+            labels=("op",),
+        )
+        keys_fam = reg.counter(
+            "repro_engine_keys_total",
+            "Keys processed by engine batch verbs.", labels=("op",),
+        )
+        self._obs_ops = {
+            op: (ops.labels(op), keys_fam.labels(op))
+            for op in ("get_batch", "range_batch", "insert_batch",
+                       "delete_batch")
+        }
+        reg.register_callback(
+            "repro_engine_view_events", lambda: dict(self._view_stats),
+            "Flat-view cache events (hits/builds/patches/full rebuilds).",
+            labels=("event",),
+        )
+        reg.register_callback(
+            "repro_engine_size", self._collect_size,
+            "Engine size gauges (rows, shards, pages, bytes).",
+            labels=("field",),
+        )
+        reg.register_callback(
+            "repro_engine_residency_bytes", self._collect_residency,
+            "Read-path resident bytes per storage tier.", labels=("tier",),
+        )
+
+    def _collect_size(self) -> Dict[str, float]:
+        per_shard = [s.stats() for s in self._shards]
+        return {
+            "n": len(self),
+            "n_shards": self.n_shards,
+            "n_pages": sum(s["n_pages"] for s in per_shard),
+            "buffered_elements": sum(
+                s["buffered_elements"] for s in per_shard
+            ),
+            "model_bytes": self.model_bytes(),
+            "page_rebuilds": sum(s["page_rebuilds"] for s in per_shard),
+        }
+
+    def _collect_residency(self) -> Dict[str, float]:
+        report = self.residency_report()
+        return {
+            "pages": report["page_bytes"],
+            "views": report["view_bytes"],
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -196,23 +261,34 @@ class ShardedEngine:
 
     def stats(self) -> Dict[str, Any]:
         """Engine-level stats: totals, flat-view cache hit rate, per-shard
-        segment counts and buffer occupancy."""
+        segment counts and buffer occupancy.
+
+        The top-level key set is the backend-independent schema shared
+        with :class:`repro.cluster.ClusterEngine` (pinned by the
+        ``tests/api`` stats-schema conformance suite): single-process
+        backends report an empty ``workers`` list and all-zero ``ipc``
+        counters rather than omitting the keys.
+        """
         per_shard = [s.stats() for s in self._shards]
         views = dict(self._view_stats)
         touches = views["view_hits"] + views["view_builds"]
         return {
+            "backend": "sharded",
             "n": len(self),
             "n_shards": self.n_shards,
             "cuts": self.cuts.tolist(),
             "model_bytes": self.model_bytes(),
             "n_pages": sum(s["n_pages"] for s in per_shard),
             "buffered_elements": sum(s["buffered_elements"] for s in per_shard),
+            "page_rebuilds": sum(s["page_rebuilds"] for s in per_shard),
             "view_hits": views["view_hits"],
             "view_builds": views["view_builds"],
             "view_hit_rate": views["view_hits"] / touches if touches else 0.0,
             "view_patches": views["view_patches"],
             "view_full_rebuilds": views["view_full_rebuilds"],
             "shards": per_shard,
+            "workers": [],
+            "ipc": {"batches": 0, "pickle_fallbacks": 0, "lane_growths": 0},
         }
 
     def validate(self) -> None:
@@ -581,6 +657,19 @@ class ShardedEngine:
             else an object array with ``default`` in the miss slots
             (matching ``PagedIndexBase.get_batch``).
         """
+        tel = self._telemetry
+        if tel is None:
+            return self._get_batch_impl(queries, default)
+        with tel.span("engine.get_batch") as sp:
+            out = self._get_batch_impl(queries, default)
+            if sp is not None:
+                sp.attrs["n"] = int(out.size)
+        c_ops, c_keys = self._obs_ops["get_batch"]
+        c_ops.inc()
+        c_keys.inc(out.size)
+        return out
+
+    def _get_batch_impl(self, queries, default: Any = None) -> np.ndarray:
         q = np.ascontiguousarray(queries, dtype=np.float64)
         combined = self._combined_view()
         if combined is not None:
@@ -672,10 +761,15 @@ class ShardedEngine:
         bounds = np.asarray(bounds, dtype=np.float64)
         if bounds.ndim != 2 or bounds.shape[1] != 2:
             raise InvalidParameterError("bounds must be an (n, 2) array")
-        return [
+        out = [
             self.range_arrays(lo, hi, include_lo, include_hi)
             for lo, hi in bounds
         ]
+        if self._telemetry is not None:
+            c_ops, c_keys = self._obs_ops["range_batch"]
+            c_ops.inc()
+            c_keys.inc(bounds.shape[0])
+        return out
 
     # ------------------------------------------------------------------
     # Writes
@@ -735,6 +829,10 @@ class ShardedEngine:
         for sid, (a, b) in enumerate(shard_bounds(keys, self.cuts)):
             if a < b:
                 self._shards[sid].insert_batch(keys[a:b], values[a:b])
+        if self._telemetry is not None:
+            c_ops, c_keys = self._obs_ops["insert_batch"]
+            c_ops.inc()
+            c_keys.inc(keys.size)
 
     def delete(self, key: float) -> Any:
         """Scalar delete: remove one occurrence of ``key``, return its value.
@@ -797,6 +895,10 @@ class ShardedEngine:
         out = np.empty(keys.size, dtype=dtype)
         for idx, res in parts:
             out[idx] = res
+        if self._telemetry is not None:
+            c_ops, c_keys = self._obs_ops["delete_batch"]
+            c_ops.inc()
+            c_keys.inc(keys.size)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

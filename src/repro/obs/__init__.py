@@ -1,0 +1,148 @@
+"""Stack-wide telemetry: metrics registry, batch tracing, and exporters.
+
+``repro.obs`` is the substrate every other layer reports into — it
+imports nothing above :mod:`repro.core`, and the engine/serve/cluster
+layers hold at most an optional reference to it. The public surface is
+the :class:`Telemetry` facade:
+
+>>> from repro import open_engine
+>>> from repro.obs import Telemetry
+>>> tel = Telemetry(mode="full")                   # doctest: +SKIP
+>>> eng = open_engine(keys, telemetry=tel)         # doctest: +SKIP
+>>> eng.get_batch(queries)                         # doctest: +SKIP
+>>> tel.snapshot()["metrics"]["repro_engine_ops_total"]  # doctest: +SKIP
+
+Three modes, chosen for cost:
+
+* ``"off"`` — no ``Telemetry`` object at all (``Telemetry.from_mode``
+  returns ``None``); instrumented hot paths reduce to one
+  ``is not None`` check per *batch*, benchmarked at ≤2% overhead by
+  ``python -m repro.bench obs``.
+* ``"metrics"`` — counters/gauges/histograms update; tracing stays off.
+* ``"full"`` — metrics plus span recording into the bounded ring buffer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.export import snapshot, to_prometheus
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer, span_record
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "span_record",
+    "snapshot",
+    "to_prometheus",
+    "DEFAULT_LATENCY_BUCKETS_US",
+]
+
+#: Accepted ``telemetry=`` mode strings (``"off"`` maps to ``None``).
+MODES = ("off", "metrics", "full")
+
+
+class Telemetry:
+    """One deployment's telemetry bundle: a registry plus (optionally) a tracer.
+
+    Instances are always *enabled* — the disabled state is represented by
+    the absence of an instance (``Telemetry.from_mode("off") is None``),
+    so instrumented code pays a single ``is not None`` test when
+    telemetry is off rather than a method call.
+    """
+
+    def __init__(
+        self,
+        mode: str = "full",
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        trace_capacity: int = 4096,
+    ) -> None:
+        if mode not in ("metrics", "full"):
+            raise InvalidParameterError(
+                f"Telemetry mode must be 'metrics' or 'full', got {mode!r} "
+                "(use Telemetry.from_mode() to map 'off' to None)"
+            )
+        self.mode = mode
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if mode == "full":
+            self.tracer = tracer if tracer is not None else Tracer(trace_capacity)
+        else:
+            self.tracer = None
+
+    @staticmethod
+    def from_mode(
+        mode: Union[str, "Telemetry", None],
+    ) -> Optional["Telemetry"]:
+        """Resolve a config knob value to a ``Telemetry`` or ``None``.
+
+        ``None``/``"off"`` → ``None``; an existing instance passes
+        through (so a server and its engine can share one registry);
+        ``"metrics"``/``"full"`` construct a fresh bundle.
+        """
+        if mode is None or mode == "off":
+            return None
+        if isinstance(mode, Telemetry):
+            return mode
+        if mode in ("metrics", "full"):
+            return Telemetry(mode=mode)
+        raise InvalidParameterError(
+            f"telemetry must be one of {MODES} or a Telemetry instance, "
+            f"got {mode!r}"
+        )
+
+    # -- tracing -------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """Whether span recording is active (mode ``"full"``)."""
+        return self.tracer is not None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """Open a span if tracing, else a no-op block yielding ``None``."""
+        if self.tracer is None:
+            yield None
+        else:
+            with self.tracer.span(name, **attrs) as sp:
+                yield sp
+
+    def ctx(self) -> Optional[tuple]:
+        """Ambient ``(trace_id, span_id)`` when tracing, else ``None``."""
+        return self.tracer.ctx() if self.tracer is not None else None
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the registry (and tracer when tracing).
+
+        Returns
+        -------
+        dict
+            See :func:`repro.obs.export.snapshot`; ``"mode"`` is added so
+            consumers can tell what was being recorded.
+        """
+        out = snapshot(self.registry, self.tracer)
+        out["mode"] = self.mode
+        return out
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return to_prometheus(self.registry)

@@ -1,0 +1,139 @@
+"""Render a metrics registry (and optionally a tracer) for the outside world.
+
+Two consumers, two formats:
+
+* :func:`snapshot` — a JSON-able dict for ``Server.stats()``, the bench
+  harness and tests: every family with its kind, labels and current
+  values, plus (when a tracer is supplied) the buffered span records.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histograms expanded to cumulative ``_bucket{le=...}`` series with
+  ``_sum`` and ``_count``), so a scrape endpoint is one ``web.Response``
+  away.
+
+Both walk :meth:`MetricsRegistry.collect` — callbacks resolve here, on
+the cold path, never on the request path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricFamily, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["snapshot", "to_prometheus"]
+
+#: Callback families export as gauges (they are point-in-time reads).
+_PROM_TYPE = {"counter": "counter", "gauge": "gauge",
+              "histogram": "histogram", "callback": "gauge"}
+
+
+def _labels_dict(family: MetricFamily, values: tuple) -> Dict[str, str]:
+    names = family.labelnames
+    if len(names) != len(values):
+        # Callback families may emit label tuples without declared names.
+        names = tuple(f"label{i}" for i in range(len(values)))
+    return dict(zip(names, values))
+
+
+def snapshot(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> Dict[str, Any]:
+    """Registry (and optional tracer) as one JSON-able dict.
+
+    Returns
+    -------
+    dict
+        ``{"metrics": {name: {"type", "help", "samples": [...]}, ...},
+        "trace": {"capacity", "dropped", "spans": [...]}}`` — the
+        ``trace`` key only present when a tracer is given. Histogram
+        samples carry their bucket bounds, cumulative counts, sum and
+        count; scalar samples carry a single ``value``.
+    """
+    metrics: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples: List[Dict[str, Any]] = []
+        for values, child in family.samples():
+            entry: Dict[str, Any] = {"labels": _labels_dict(family, values)}
+            if isinstance(child, Histogram):
+                entry["buckets"] = list(child.buckets)
+                entry["counts"] = child.cumulative()
+                entry["sum"] = child.sum
+                entry["count"] = child.count
+            else:
+                entry["value"] = child.value
+            samples.append(entry)
+        metrics[family.name] = {
+            "type": _PROM_TYPE[family.kind],
+            "help": family.help,
+            "samples": samples,
+        }
+    out: Dict[str, Any] = {"metrics": metrics}
+    if tracer is not None:
+        out["trace"] = {
+            "capacity": tracer.capacity,
+            "dropped": tracer.dropped,
+            "spans": [sp.to_dict() for sp in tracer.spans()],
+        }
+    return out
+
+
+def _fmt_value(v: float) -> str:
+    if v == int(v):
+        return str(int(v))
+    return repr(v)
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Registry in Prometheus text exposition format (version 0.0.4).
+
+    Counter families get a ``_total``-suffix-free passthrough of their
+    registered name (name hygiene is the registrant's job); histograms
+    expand into cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``; callback families are exposed as gauges.
+    """
+    lines: List[str] = []
+    for family in registry.collect():
+        prom_type = _PROM_TYPE[family.kind]
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {prom_type}")
+        for values, child in family.samples():
+            labels = _labels_dict(family, values)
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative()
+                for bound, count in zip(child.buckets, cumulative):
+                    bl = dict(labels)
+                    bl["le"] = _fmt_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket{_fmt_labels(bl)} {count}"
+                    )
+                bl = dict(labels)
+                bl["le"] = "+Inf"
+                lines.append(
+                    f"{family.name}_bucket{_fmt_labels(bl)} {child.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_fmt_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_fmt_labels(labels)} "
+                    f"{_fmt_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,345 @@
+"""Lock-cheap metrics registry: counters, gauges and fixed-bucket histograms.
+
+Every layer of the stack previously kept its own ad-hoc ``stats()`` dict
+(engine view counters, batcher flush counters, server latency series,
+cluster IPC counters) with its own names and shapes. This module is the
+one schema they all now feed: a :class:`MetricsRegistry` of named metric
+families, each optionally labelled (operation kind, shard id, flush
+reason), collected on demand and rendered by :mod:`repro.obs.export` as
+JSON or Prometheus text exposition.
+
+Design constraints, in order:
+
+* **Hot-path cost.** Updates are plain attribute arithmetic on
+  pre-resolved children (``family.labels("get")`` is called once at
+  instrumentation time, never per request) — no locks, no string
+  formatting, no allocation. CPython's GIL makes ``+=`` on a float
+  attribute safe enough for monitoring counters (a torn read is
+  impossible; a lost increment under free-threading would be, which is an
+  accepted monitoring-grade trade documented here rather than paid for
+  with a mutex on every request).
+* **Pull, don't push.** State that already lives somewhere (an engine's
+  view-cache counters, a server's latency summary) is exported through
+  :meth:`MetricsRegistry.register_callback` — read at collection time —
+  instead of being double-counted into the registry on every update.
+* **Collection is the cold path.** ``collect()`` snapshots values and
+  resolves callbacks; a callback that raises is skipped (a closed cluster
+  engine must not take the whole telemetry endpoint down with it).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_US",
+]
+
+#: Default histogram bucket upper bounds for microsecond latencies —
+#: roughly logarithmic from sub-batch-flush (50us) to multi-second stalls.
+DEFAULT_LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 25_000.0, 50_000.0, 100_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value (one labelled child of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be >= 0; not enforced on the hot path)."""
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (one labelled child of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        """Replace the current value."""
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (may be negative)."""
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket histogram (one labelled child of a family).
+
+    Buckets are cumulative at export time (Prometheus ``le`` semantics);
+    internally each slot counts its own interval plus one overflow slot,
+    so ``observe`` is a single ``bisect`` + increment.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a whole batch of observations in one pass.
+
+        Vectorized over NumPy when the batch is an ndarray (the serve
+        layer's per-flush latency fan-out), else a plain loop.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        slots = np.searchsorted(self.buckets, arr, side="left")
+        for s in slots:
+            self.counts[s] += 1
+        self.sum += float(arr.sum())
+        self.count += arr.size
+
+    def cumulative(self) -> List[int]:
+        """Bucket counts as cumulative ``le`` totals (excludes overflow)."""
+        out: List[int] = []
+        total = 0
+        for c in self.counts[:-1]:
+            total += c
+            out.append(total)
+        return out
+
+
+#: Metric kinds a family may carry.
+_KINDS = ("counter", "gauge", "histogram", "callback")
+
+
+class MetricFamily:
+    """All children of one named metric, keyed by their label values.
+
+    Callers resolve children once (``family.labels("get")``) and keep the
+    reference; per-request work then touches only the child.
+    """
+
+    __slots__ = ("name", "kind", "help", "labelnames", "buckets",
+                 "_children", "_callback", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Tuple[str, ...] = (),
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._callback: Optional[Callable[[], Any]] = None
+        self._lock = threading.Lock()
+
+    def labels(self, *values: Any) -> Any:
+        """The child for one label-value tuple, created on first use.
+
+        Parameters
+        ----------
+        values:
+            One value per declared label name (stringified for export).
+
+        Returns
+        -------
+        Counter | Gauge | Histogram
+            The live child; callers should cache it, not re-resolve per
+            update.
+        """
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise InvalidParameterError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"values {self.labelnames}, got {values!r}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def _make_child(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS_US)
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """Snapshot of ``(label_values, child)`` pairs.
+
+        For callback families the callback is resolved here: it may
+        return a scalar (one unlabelled sample) or a dict mapping
+        label-value tuples to values. A raising callback yields no
+        samples rather than poisoning the collection.
+        """
+        if self.kind != "callback":
+            return list(self._children.items())
+        if self._callback is None:
+            return []
+        try:
+            result = self._callback()
+        except Exception:  # collection must survive a dead source
+            return []
+        if isinstance(result, dict):
+            out = []
+            for key, value in result.items():
+                if not isinstance(key, tuple):
+                    key = (key,)
+                out.append((tuple(str(k) for k in key), _Value(float(value))))
+            return out
+        return [((), _Value(float(result)))]
+
+
+class _Value:
+    """Immutable sample wrapper produced by callback resolution."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+
+class MetricsRegistry:
+    """Named metric families, created idempotently and collected on demand.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create a family: asking
+    for an existing name with the same kind returns the existing family
+    (so two components can share one metric), while a kind mismatch is a
+    typed error. ``register_callback`` wires pull-based sources in;
+    re-registering a callback name replaces the previous source (an
+    engine rebuilt over the same registry wins).
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- construction --------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> MetricFamily:
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is not None:
+                if fam.kind != kind:
+                    raise InvalidParameterError(
+                        f"metric {name!r} already registered as "
+                        f"{fam.kind!r}, not {kind!r}"
+                    )
+                return fam
+            fam = MetricFamily(name, kind, help, labels, buckets)
+            self._families[name] = fam
+            return fam
+
+    def counter(
+        self, name: str, help: str = "", labels: Tuple[str, ...] = ()
+    ) -> MetricFamily:
+        """Get-or-create a counter family."""
+        return self._family(name, "counter", help, tuple(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: Tuple[str, ...] = ()
+    ) -> MetricFamily:
+        """Get-or-create a gauge family."""
+        return self._family(name, "gauge", help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Tuple[str, ...] = (),
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_US,
+    ) -> MetricFamily:
+        """Get-or-create a fixed-bucket histogram family.
+
+        Parameters
+        ----------
+        buckets:
+            Strictly increasing finite upper bounds; observations above
+            the last bound land in the implicit overflow bucket.
+        """
+        buckets = tuple(float(b) for b in buckets)
+        if any(not math.isfinite(b) for b in buckets) or any(
+            b1 <= b0 for b0, b1 in zip(buckets, buckets[1:])
+        ):
+            raise InvalidParameterError(
+                f"histogram buckets must be finite and strictly "
+                f"increasing, got {buckets}"
+            )
+        fam = self._family(name, "histogram", help, tuple(labels), buckets)
+        return fam
+
+    def register_callback(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        help: str = "",
+        labels: Tuple[str, ...] = (),
+    ) -> None:
+        """Register a pull-based gauge source resolved at collection time.
+
+        ``fn`` returns either a scalar (one unlabelled sample) or a dict
+        mapping label-value tuples (or bare strings, for one label) to
+        values. Re-registering ``name`` replaces the previous source.
+        """
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None or fam.kind != "callback":
+                fam = MetricFamily(name, "callback", help, tuple(labels))
+                self._families[name] = fam
+            fam._callback = fn
+
+    # -- collection ----------------------------------------------------
+
+    def collect(self) -> List[MetricFamily]:
+        """Registered families in name order (the export walk order)."""
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)

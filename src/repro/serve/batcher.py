@@ -140,6 +140,13 @@ class RequestBatcher:
         with the list of end-to-end latencies (seconds) of the requests
         just completed; the :class:`~repro.serve.Server` wires its latency
         series in through this.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle. ``None`` (default)
+        adds nothing to the hot path. When set, the dispatch counters and
+        flush-reason tallies are exported through registry callbacks, and
+        in ``"full"`` mode each flush cycle records a ``serve.flush`` span
+        (with its reason and queue wait) parenting per-chunk
+        ``serve.dispatch`` spans — the root of the batch-lifecycle trace.
 
     All ``submit_*`` methods must be called from a running event loop and
     return an :class:`asyncio.Future` resolving to the operation's result.
@@ -155,6 +162,7 @@ class RequestBatcher:
         executor: Any = None,
         shard_executor: Any = None,
         observer: Optional[Callable[[str, List[float]], None]] = None,
+        telemetry: Any = None,
     ) -> None:
         if max_batch < 1:
             raise InvalidParameterError(
@@ -177,10 +185,16 @@ class RequestBatcher:
             and hasattr(engine, "get_batch_shard")
         )
         self._observer = observer
-        # Per-request enqueue timestamps exist only to feed the observer;
-        # with no observer installed the clock reads are skipped entirely
-        # (a measurable saving at millions of requests).
-        self._clock = time.perf_counter if observer is not None else _zero
+        self._telemetry = telemetry
+        # Per-request enqueue timestamps exist only to feed the observer
+        # (or a flush span's queue-wait attribute); with neither installed
+        # the clock reads are skipped entirely (a measurable saving at
+        # millions of requests).
+        self._clock = (
+            time.perf_counter
+            if observer is not None or telemetry is not None
+            else _zero
+        )
 
         # Pending ops: (key, default, future, t0) / (lo, hi, future, t0) /
         # (key, value, future, t0). Writes keep submission order in one
@@ -208,16 +222,33 @@ class RequestBatcher:
         #: In-flight per-request tasks (max_batch=1 mode only); drain()
         #: awaits them so close still guarantees completion.
         self._solo_tasks: set = set()
+        #: Reason the next flush cycle will attribute itself to; stamped
+        #: by whichever trigger scheduled the flush (first one wins).
+        self._flush_reason: Optional[str] = None
         self._stats: Dict[str, Any] = {
             "flushes": 0,
             "batches": {"get": 0, "range": 0, "insert": 0, "delete": 0},
             "ops": {"get": 0, "range": 0, "insert": 0, "delete": 0},
+            "flush_reasons": {"size": 0, "timer": 0, "idle": 0, "drain": 0},
             "max_batch_observed": 0,
             "scalar_fallbacks": 0,
             "shard_dispatches": 0,
             "barrier_held": 0,
             "barrier_version": None,
         }
+        if telemetry is not None:
+            telemetry.registry.register_callback(
+                "repro_serve_batcher",
+                self._collect_counters,
+                help="RequestBatcher dispatch counters.",
+                labels=("counter",),
+            )
+            telemetry.registry.register_callback(
+                "repro_serve_flush_total",
+                lambda: dict(self._stats["flush_reasons"]),
+                help="Flush cycles by trigger reason.",
+                labels=("reason",),
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -229,10 +260,10 @@ class RequestBatcher:
         return self._n_pending
 
     def stats(self) -> Dict[str, Any]:
-        """Dispatch counters: flushes, batches and ops per kind, the
-        largest batch observed, scalar fallbacks taken, reads held at the
-        write barrier, and the engine version stamped by the last insert
-        flush.
+        """Dispatch counters: flushes, batches and ops per kind, flush
+        cycles by trigger reason, the largest batch observed, scalar
+        fallbacks taken, reads held at the write barrier, and the engine
+        version stamped by the last insert flush.
 
         Returns
         -------
@@ -243,7 +274,25 @@ class RequestBatcher:
         out = dict(self._stats)
         out["batches"] = dict(self._stats["batches"])
         out["ops"] = dict(self._stats["ops"])
+        out["flush_reasons"] = dict(self._stats["flush_reasons"])
         out["pending"] = self.pending
+        return out
+
+    def _collect_counters(self) -> Dict[str, float]:
+        """Flatten the scalar dispatch counters for the metrics callback."""
+        s = self._stats
+        out: Dict[str, float] = {
+            "flushes": s["flushes"],
+            "max_batch_observed": s["max_batch_observed"],
+            "scalar_fallbacks": s["scalar_fallbacks"],
+            "shard_dispatches": s["shard_dispatches"],
+            "barrier_held": s["barrier_held"],
+            "pending": self._n_pending,
+        }
+        for kind, v in s["ops"].items():
+            out[f"ops_{kind}"] = v
+        for kind, v in s["batches"].items():
+            out[f"batches_{kind}"] = v
         return out
 
     # ------------------------------------------------------------------
@@ -280,7 +329,7 @@ class RequestBatcher:
         self._gen += 1
         n = self._n_pending = self._n_pending + 1
         if n >= self.max_batch:
-            self._schedule_flush()
+            self._schedule_flush("size")
         else:
             if self._timer is None and not self._flush_scheduled:
                 self._timer = loop.call_later(
@@ -380,7 +429,7 @@ class RequestBatcher:
         self._gen += 1
         self._n_pending += 1
         if self._n_pending >= self.max_batch:
-            self._schedule_flush()
+            self._schedule_flush("size")
             return
         if self._timer is None and not self._flush_scheduled:
             self._timer = loop.call_later(self.max_delay, self._timer_fired)
@@ -391,7 +440,7 @@ class RequestBatcher:
     def _timer_fired(self) -> None:
         self._timer = None
         if self._n_pending:
-            self._schedule_flush()
+            self._schedule_flush("timer")
 
     def _idle_fired(self, gen: int) -> None:
         # Runs after every currently-runnable task had a chance to submit;
@@ -405,12 +454,13 @@ class RequestBatcher:
             return
         self._idle_armed = False
         if gen == self._gen and self._n_pending and not self._flush_scheduled:
-            self._schedule_flush()
+            self._schedule_flush("idle")
 
-    def _schedule_flush(self) -> None:
+    def _schedule_flush(self, reason: str = "size") -> None:
         if self._flush_scheduled:
             return
         self._flush_scheduled = True
+        self._flush_reason = reason
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
@@ -422,6 +472,8 @@ class RequestBatcher:
             self._timer.cancel()
             self._timer = None
         while self.pending:
+            if not self._flush_scheduled:
+                self._flush_reason = "drain"
             await self._flush()
         while self._solo_tasks:
             await asyncio.gather(*list(self._solo_tasks))
@@ -437,11 +489,14 @@ class RequestBatcher:
             self._flush_scheduled = False
             await self._dispatch_cycle()
         # Requests that arrived mid-cycle scheduled their own flush (the
-        # flag was cleared above); this is only a belt-and-braces rearm.
+        # flag was cleared above); this is only a belt-and-braces rearm
+        # (attributed to the timer it replaces).
         if self.pending and not self._flush_scheduled and self._timer is None:
-            self._schedule_flush()
+            self._schedule_flush("timer")
 
     async def _dispatch_cycle(self) -> None:
+        reason = self._flush_reason or "drain"
+        self._flush_reason = None
         gets, self._gets = self._gets, []
         ranges, self._ranges = self._ranges, []
         writes, self._writes = self._writes, []
@@ -452,6 +507,42 @@ class RequestBatcher:
         if not (gets or ranges or writes or held_gets or held_ranges):
             return
         self._stats["flushes"] += 1
+        self._stats["flush_reasons"][reason] = (
+            self._stats["flush_reasons"].get(reason, 0) + 1
+        )
+        tel = self._telemetry
+        tracer = tel.tracer if tel is not None else None
+        if tracer is None:
+            await self._dispatch_all(gets, ranges, writes, held_gets, held_ranges)
+            return
+        # The serve.flush span is the root of one batch-lifecycle trace;
+        # the ambient contextvar parents every serve.dispatch (and, via
+        # the inline engine path, cluster.get_batch / worker.compute)
+        # span recorded underneath this cycle.
+        n = (
+            len(gets) + len(ranges) + len(writes)
+            + len(held_gets) + len(held_ranges)
+        )
+        with tracer.span(
+            "serve.flush",
+            reason=reason,
+            n=n,
+            barriered=len(held_gets) + len(held_ranges),
+        ) as sp:
+            t0s = [op[3] for op in gets + ranges + held_gets + held_ranges]
+            t0s += [op[3] for _, op in writes]
+            sp.attrs["queue_wait_us"] = (self._clock() - min(t0s)) * 1e6
+            await self._dispatch_all(gets, ranges, writes, held_gets, held_ranges)
+
+    async def _dispatch_all(
+        self,
+        gets: List[Tuple],
+        ranges: List[Tuple],
+        writes: List[Tuple[str, Tuple]],
+        held_gets: List[Tuple],
+        held_ranges: List[Tuple],
+    ) -> None:
+        """One cycle's dispatch sequence: reads, write runs, barriered reads."""
         await self._dispatch_gets(gets)
         await self._dispatch_ranges(ranges)
         # Writes dispatch as maximal same-kind runs in submission order,
@@ -591,39 +682,49 @@ class RequestBatcher:
         return True
 
     async def _dispatch_gets(self, ops: List[Tuple]) -> None:
-        engine = self.engine
+        tel = self._telemetry
+        tracer = tel.tracer if tel is not None else None
         for chunk in self._chunks(ops):
             self._note_batch("get", len(chunk))
-            if len(chunk) == 1:
-                (key, default, _fut, _t0), = chunk
-                try:
-                    value = await self._run(engine.get, key, default)
-                except Exception as exc:
-                    self._reject(chunk[0], "get", exc)
-                else:
-                    self._resolve(chunk[0], "get", value)
-                continue
-            if self._shard_dispatch and await self._dispatch_gets_sharded(chunk):
-                continue
-            try:
-                q = np.asarray([op[0] for op in chunk], dtype=np.float64)
-                results = await self._run(engine.get_batch, q, _MISS)
-            except Exception:
-                self._stats["scalar_fallbacks"] += 1
-                outcomes = await self._run(
-                    _each, engine.get, [(op[0], op[1]) for op in chunk]
-                )
-                for op, (ok, res) in zip(chunk, outcomes):
-                    (self._resolve if ok else self._reject)(op, "get", res)
-                continue
-            if results.dtype == object:
-                defaults = [
-                    op[1] if value is _MISS else value
-                    for op, value in zip(chunk, results)
-                ]
-                self._fan_out(chunk, "get", defaults)
+            if tracer is None:
+                await self._dispatch_get_chunk(chunk)
             else:
-                self._fan_out(chunk, "get", results)
+                with tracer.span("serve.dispatch", kind="get", n=len(chunk)):
+                    await self._dispatch_get_chunk(chunk)
+
+    async def _dispatch_get_chunk(self, chunk: List[Tuple]) -> None:
+        """Answer one get chunk: scalar, sharded, batch, or fallback path."""
+        engine = self.engine
+        if len(chunk) == 1:
+            (key, default, _fut, _t0), = chunk
+            try:
+                value = await self._run(engine.get, key, default)
+            except Exception as exc:
+                self._reject(chunk[0], "get", exc)
+            else:
+                self._resolve(chunk[0], "get", value)
+            return
+        if self._shard_dispatch and await self._dispatch_gets_sharded(chunk):
+            return
+        try:
+            q = np.asarray([op[0] for op in chunk], dtype=np.float64)
+            results = await self._run(engine.get_batch, q, _MISS)
+        except Exception:
+            self._stats["scalar_fallbacks"] += 1
+            outcomes = await self._run(
+                _each, engine.get, [(op[0], op[1]) for op in chunk]
+            )
+            for op, (ok, res) in zip(chunk, outcomes):
+                (self._resolve if ok else self._reject)(op, "get", res)
+            return
+        if results.dtype == object:
+            defaults = [
+                op[1] if value is _MISS else value
+                for op, value in zip(chunk, results)
+            ]
+            self._fan_out(chunk, "get", defaults)
+        else:
+            self._fan_out(chunk, "get", results)
 
     async def _dispatch_ranges(self, ops: List[Tuple]) -> None:
         engine = self.engine

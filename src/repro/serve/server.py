@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.api.protocol import BatchEngine
 from repro.core.errors import InvalidParameterError
+from repro.obs import Telemetry
+from repro.obs.export import snapshot as _obs_snapshot
 from repro.serve.batcher import RequestBatcher
 from repro.serve.errors import ServerClosedError, ServerOverloadedError
 from repro.serve.stats import LatencySeries
@@ -80,7 +82,16 @@ class Server:
         ``0`` disables server-side latency sampling entirely (the
         per-request clock reads disappear from the hot path — useful when
         the traffic driver measures latency client-side, as the serve
-        benchmark does).
+        benchmark does). Telemetry re-enables the observer: its latency
+        histograms need the per-request timestamps.
+    telemetry:
+        ``None``/``"off"`` (default), ``"metrics"``, ``"full"``, or a
+        :class:`repro.obs.Telemetry` instance. When left ``None`` the
+        server adopts the engine's own ``telemetry`` bundle (if any), so
+        ``open_server(..., telemetry="full")`` yields one shared registry
+        across both layers. Enables per-op latency histograms
+        (``repro_serve_latency_us``), summary/batcher registry callbacks,
+        and — in ``"full"`` mode — the batcher's flush/dispatch spans.
     """
 
     def __init__(
@@ -95,6 +106,7 @@ class Server:
         executor: Any = None,
         shard_concurrency: int = 0,
         latency_window: int = 100_000,
+        telemetry: Any = None,
     ) -> None:
         if overload not in ("wait", "reject"):
             raise InvalidParameterError(
@@ -127,10 +139,29 @@ class Server:
                 max_workers=shard_concurrency,
                 thread_name_prefix="repro-serve-shard",
             )
+        if telemetry is None:
+            # Adopt the engine's bundle so open_server() shares one
+            # registry across the serve and engine layers.
+            telemetry = getattr(engine, "telemetry", None)
+        self.telemetry = Telemetry.from_mode(telemetry)
         self._latency: Dict[str, LatencySeries] = {
             kind: LatencySeries(max(latency_window, 1))
             for kind in ("get", "range", "insert", "delete")
         }
+        self._obs_hist: Optional[Dict[str, Any]] = None
+        if self.telemetry is not None:
+            hist = self.telemetry.registry.histogram(
+                "repro_serve_latency_us",
+                help="End-to-end request latency per op kind (microseconds).",
+                labels=("op",),
+            )
+            self._obs_hist = {kind: hist.labels(kind) for kind in self._latency}
+            self.telemetry.registry.register_callback(
+                "repro_serve_latency_summary_us",
+                self._collect_latency,
+                help="Windowed latency percentiles per op kind.",
+                labels=("op", "stat"),
+            )
         self._batcher = RequestBatcher(
             engine,
             max_batch=max_batch,
@@ -138,7 +169,12 @@ class Server:
             eager_flush=eager_flush,
             executor=executor,
             shard_executor=self._shard_executor,
-            observer=self._observe if latency_window > 0 else None,
+            observer=(
+                self._observe
+                if latency_window > 0 or self.telemetry is not None
+                else None
+            ),
+            telemetry=self.telemetry,
         )
         self._max_pending = max_pending
         self._overload = overload
@@ -295,6 +331,18 @@ class Server:
 
     def _observe(self, kind: str, latencies) -> None:
         self._latency[kind].extend(latencies)
+        if self._obs_hist is not None:
+            self._obs_hist[kind].observe_many(
+                np.asarray(latencies, dtype=np.float64) * 1e6
+            )
+
+    def _collect_latency(self) -> Dict[Tuple[str, str], float]:
+        """Flatten the per-kind latency summaries for the metrics callback."""
+        out: Dict[Tuple[str, str], float] = {}
+        for kind, series in self._latency.items():
+            for stat, value in series.summary().items():
+                out[(kind, stat)] = float(value)
+        return out
 
     def stats(self) -> Dict[str, Any]:
         """Serving-layer statistics.
@@ -307,14 +355,36 @@ class Server:
             ``throughput_ops_per_s``, admission counters (``in_flight``
             counts bounded-admission requests; unbounded servers track
             queue depth as ``batcher.pending``), ``rejected``, the
-            batcher's dispatch counters (``batcher``: flushes, batch
-            sizes, fallbacks, barrier holds), and the engine's current
-            ``engine_version`` stamp when the engine exposes one.
+            batcher's dispatch counters (``batcher``: flushes, flush
+            reasons, batch sizes, fallbacks, barrier holds), the engine's
+            current ``engine_version`` stamp when the engine exposes one,
+            the engine's own unified ``stats()`` dict under ``engine``
+            (``None`` for engines without one), and — when telemetry is
+            enabled — a registry snapshot under ``telemetry`` (``None``
+            when off).
         """
         uptime = time.perf_counter() - self._t_start
         # Batcher op counters cover every request even when latency
         # sampling is disabled (latency_window=0).
         completed = sum(self._batcher.stats()["ops"].values())
+        engine_stats = None
+        stats_fn = getattr(self.engine, "stats", None)
+        if stats_fn is not None:
+            try:
+                engine_stats = stats_fn()
+            except Exception as exc:  # e.g. a ClusterEngine already closed
+                engine_stats = {"error": repr(exc)}
+        telemetry_stats = None
+        tel = self.telemetry
+        if tel is not None:
+            telemetry_stats = _obs_snapshot(tel.registry)
+            telemetry_stats["mode"] = tel.mode
+            if tel.tracer is not None:
+                telemetry_stats["trace"] = {
+                    "capacity": tel.tracer.capacity,
+                    "dropped": tel.tracer.dropped,
+                    "buffered": len(tel.tracer.spans()),
+                }
         return {
             "uptime_seconds": round(uptime, 3),
             "completed": completed,
@@ -326,4 +396,6 @@ class Server:
             "latency": {k: s.summary() for k, s in self._latency.items()},
             "batcher": self._batcher.stats(),
             "engine_version": getattr(self.engine, "version", None),
+            "engine": engine_stats,
+            "telemetry": telemetry_stats,
         }

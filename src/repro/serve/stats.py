@@ -49,29 +49,31 @@ class LatencySeries:
     def summary(self) -> Dict[str, Any]:
         """Summarize the window as microsecond percentiles.
 
+        The percentile fields are derived from :data:`_PERCENTILES` — one
+        ``p<P>_us`` key per configured percentile (``p50_us``, ``p95_us``,
+        ``p99_us`` by default) — so the documented set and the reported
+        keys cannot drift apart. Both the empty and populated branches
+        emit the identical key set.
+
         Returns
         -------
         dict
             ``count`` (lifetime requests), ``window`` (samples summarized),
-            ``mean_us``, ``p50_us``, ``p95_us``, ``p99_us`` and ``max_us``;
+            ``mean_us``, one ``p<P>_us`` per percentile, and ``max_us``;
             the latency fields are 0.0 when no samples were recorded.
         """
+        keys = tuple(f"p{p:g}_us" for p in _PERCENTILES)
         out: Dict[str, Any] = {"count": self.count, "window": len(self._samples)}
         if not self._samples:
-            out.update(
-                {"mean_us": 0.0, "p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0,
-                 "max_us": 0.0}
-            )
+            out["mean_us"] = 0.0
+            for k in keys:
+                out[k] = 0.0
+            out["max_us"] = 0.0
             return out
         arr = np.asarray(self._samples, dtype=np.float64) * 1e6
-        p50, p95, p99 = np.percentile(arr, _PERCENTILES)
-        out.update(
-            {
-                "mean_us": round(float(arr.mean()), 2),
-                "p50_us": round(float(p50), 2),
-                "p95_us": round(float(p95), 2),
-                "p99_us": round(float(p99), 2),
-                "max_us": round(float(arr.max()), 2),
-            }
-        )
+        pcts = np.percentile(arr, _PERCENTILES)
+        out["mean_us"] = round(float(arr.mean()), 2)
+        for k, value in zip(keys, pcts):
+            out[k] = round(float(value), 2)
+        out["max_us"] = round(float(arr.max()), 2)
         return out

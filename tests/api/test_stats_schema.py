@@ -1,0 +1,102 @@
+"""Cross-backend ``stats()`` conformance: one schema, five backends.
+
+Every engine the factory can open must answer ``stats()`` with the same
+top-level key set, so dashboards and the obs exporters can consume any
+backend without per-backend branches. The cluster backend must also agree
+*numerically* with its in-process twin on the structural fields, and the
+Server nests its engine's stats under one stable key.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import open_engine, open_server
+
+N = 5_000
+KEYS = np.sort(np.random.default_rng(11).uniform(0, 1e6, N))
+
+#: The unified engine-stats schema (additive over the pre-PR keys).
+ENGINE_KEYS = {
+    "backend",
+    "n",
+    "n_shards",
+    "cuts",
+    "model_bytes",
+    "n_pages",
+    "buffered_elements",
+    "page_rebuilds",
+    "view_hits",
+    "view_builds",
+    "view_hit_rate",
+    "view_patches",
+    "view_full_rebuilds",
+    "shards",
+    "workers",
+    "ipc",
+}
+
+ENGINE_BACKENDS = {
+    "sharded": dict(executor="sharded", n_shards=2),
+    "single": dict(executor="single"),
+    "fixed-page": dict(executor="sharded", n_shards=2, index="fixed"),
+    "cluster": dict(executor="cluster", n_shards=2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ENGINE_BACKENDS))
+def test_engine_stats_schema_is_uniform(name):
+    engine = open_engine(KEYS, **ENGINE_BACKENDS[name])
+    try:
+        stats = engine.stats()
+        assert set(stats) == ENGINE_KEYS, (
+            f"{name}: {set(stats) ^ ENGINE_KEYS}"
+        )
+        assert stats["backend"] in ("sharded", "cluster")
+        assert stats["n"] == N
+        assert isinstance(stats["ipc"], dict)
+        assert {"batches", "pickle_fallbacks", "lane_growths"} <= set(
+            stats["ipc"]
+        )
+        assert isinstance(stats["workers"], list)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+
+def test_cluster_structural_stats_match_in_process_twin():
+    twin = open_engine(KEYS, executor="sharded", n_shards=2)
+    cluster = open_engine(KEYS, executor="cluster", n_shards=2)
+    try:
+        # Exercise the write path so page_rebuilds can move on both sides.
+        extra = np.random.default_rng(12).uniform(0, 1e6, 2_000)
+        twin.insert_batch(extra)
+        cluster.insert_batch(extra)
+        a, b = twin.stats(), cluster.stats()
+        for key in ("n", "n_shards", "cuts", "n_pages",
+                    "buffered_elements", "model_bytes", "page_rebuilds"):
+            assert a[key] == b[key], (key, a[key], b[key])
+        assert len(b["workers"]) == 2
+        assert b["ipc"]["batches"] > 0
+    finally:
+        cluster.close()
+
+
+def test_server_stats_nest_engine_schema():
+    async def drive():
+        server = open_server(KEYS, executor="sharded", n_shards=2,
+                             max_batch=64)
+        async with server:
+            await asyncio.gather(*(server.get(float(k)) for k in KEYS[:50]))
+        return server.stats()
+
+    stats = asyncio.run(drive())
+    assert set(stats["engine"]) == ENGINE_KEYS
+    assert stats["engine"]["backend"] == "sharded"
+    assert stats["telemetry"] is None  # off by default
+    assert set(stats["batcher"]["flush_reasons"]) == {
+        "size", "timer", "idle", "drain",
+    }
+    assert stats["completed"] == 50

@@ -1,0 +1,127 @@
+"""Unit tests for the metrics registry: families, labels, exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.export import snapshot, to_prometheus
+
+
+def test_counter_family_labels_and_samples():
+    reg = MetricsRegistry()
+    fam = reg.counter("ops_total", help="Ops.", labels=("op",))
+    fam.labels("get").inc()
+    fam.labels("get").inc(2)
+    fam.labels("insert").inc(5)
+    samples = {lv: child.value for lv, child in fam.samples()}
+    assert samples[("get",)] == 3.0
+    assert samples[("insert",)] == 5.0
+
+
+def test_family_is_idempotent_and_kind_checked():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total")
+    assert reg.counter("x_total") is a
+    with pytest.raises(InvalidParameterError):
+        reg.gauge("x_total")
+
+
+def test_labels_arity_checked():
+    reg = MetricsRegistry()
+    fam = reg.counter("y_total", labels=("a", "b"))
+    with pytest.raises(InvalidParameterError):
+        fam.labels("only-one")
+
+
+def test_gauge_set_and_inc():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth").labels()
+    g.set(10)
+    g.inc(-3)
+    assert g.value == 7.0
+
+
+def test_histogram_buckets_cumulative_and_overflow():
+    reg = MetricsRegistry()
+    fam = reg.histogram("lat_us", buckets=(1.0, 10.0, 100.0))
+    h = fam.labels()
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    h.observe_many(np.asarray([2.0, 20.0]))
+    assert h.count == 6
+    assert h.sum == pytest.approx(577.5)
+    # Cumulative counts per upper bound, overflow excluded.
+    assert h.cumulative() == [1, 3, 5]
+
+
+def test_histogram_bucket_validation():
+    reg = MetricsRegistry()
+    with pytest.raises(InvalidParameterError):
+        reg.histogram("bad", buckets=(3.0, 2.0))
+    with pytest.raises(InvalidParameterError):
+        reg.histogram("bad2", buckets=(1.0, float("inf")))
+
+
+def test_callback_scalar_and_dict_sources():
+    reg = MetricsRegistry()
+    reg.register_callback("pending", lambda: 4)
+    reg.register_callback(
+        "events", lambda: {"hit": 2, "miss": 1}, labels=("kind",)
+    )
+    snap = snapshot(reg)
+    assert snap["metrics"]["pending"]["samples"][0]["value"] == 4.0
+    events = {
+        s["labels"]["kind"]: s["value"]
+        for s in snap["metrics"]["events"]["samples"]
+    }
+    assert events == {"hit": 2.0, "miss": 1.0}
+
+
+def test_callback_exception_is_swallowed():
+    reg = MetricsRegistry()
+
+    def boom():
+        raise RuntimeError("collector died")
+
+    reg.register_callback("flaky", boom)
+    assert snapshot(reg)["metrics"]["flaky"]["samples"] == []
+
+
+def test_snapshot_is_json_serializable():
+    reg = MetricsRegistry()
+    reg.counter("c_total", labels=("op",)).labels("get").inc()
+    reg.histogram("h_us", buckets=(1.0, 2.0)).labels().observe(1.5)
+    text = json.dumps(snapshot(reg))
+    assert "c_total" in text and "h_us" in text
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("ops_total", help="Ops.", labels=("op",)).labels("get").inc(3)
+    h = reg.histogram("lat_us", buckets=(10.0, 100.0)).labels()
+    h.observe(5.0)
+    h.observe(500.0)
+    text = to_prometheus(reg)
+    assert "# TYPE ops_total counter" in text
+    assert 'ops_total{op="get"} 3' in text
+    assert 'lat_us_bucket{le="10"} 1' in text
+    assert 'lat_us_bucket{le="+Inf"} 2' in text
+    assert "lat_us_sum 505" in text
+    assert "lat_us_count 2" in text
+
+
+def test_telemetry_from_mode_mapping():
+    assert Telemetry.from_mode(None) is None
+    assert Telemetry.from_mode("off") is None
+    tel = Telemetry.from_mode("metrics")
+    assert tel.mode == "metrics" and tel.tracer is None
+    assert Telemetry.from_mode(tel) is tel
+    full = Telemetry.from_mode("full")
+    assert full.tracer is not None and full.tracing
+    with pytest.raises(InvalidParameterError):
+        Telemetry.from_mode("verbose")
+    with pytest.raises(InvalidParameterError):
+        Telemetry(mode="off")

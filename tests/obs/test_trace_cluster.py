@@ -1,0 +1,148 @@
+"""Acceptance: one traced ``get_batch`` yields a span tree that crosses
+the shm/worker process boundary with matching trace ids on both sides.
+
+This pins the PR's headline behaviour: submit → flush (with reason) →
+per-shard dispatch → worker compute (in another process) → gather, all
+under one ``trace_id``, with the worker-side spans stitched back through
+the control-pipe reply by ``Tracer.ingest``.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+
+from repro import Telemetry, open_engine, open_server
+
+KEYS = np.sort(np.random.default_rng(7).uniform(0, 1e6, 20_000))
+#: Queries drawn from both ends of the key space so both shards compute.
+SPREAD = np.concatenate([KEYS[:64], KEYS[-64:]])
+
+
+def test_cluster_get_batch_span_tree_crosses_worker_boundary():
+    engine = open_engine(KEYS, executor="cluster", n_shards=2, telemetry="full")
+    try:
+        engine.get_batch(SPREAD)
+        tracer = engine.telemetry.tracer
+
+        roots = tracer.find("cluster.get_batch")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.parent_id is None  # no serve layer above it here
+        assert root.attrs["n"] == SPREAD.size
+
+        workers = tracer.find("worker.compute")
+        assert len(workers) == 2  # both shards computed
+        assert {w.attrs["shard"] for w in workers} == {0, 1}
+        for w in workers:
+            # Same trace on both sides of the shm boundary...
+            assert w.trace_id == root.trace_id
+            # ...parented by the parent-side dispatch span...
+            assert w.parent_id == root.span_id
+            # ...but recorded in a different process.
+            assert w.attrs["pid"] != os.getpid()
+            assert w.attrs["n"] == 64
+            assert w.duration > 0.0
+
+        gathers = tracer.find("cluster.gather")
+        assert len(gathers) == 1
+        assert gathers[0].parent_id == root.span_id
+        assert gathers[0].attrs["shards"] == 2
+
+        # The whole trace hangs off one root in the adjacency tree.
+        tree = tracer.tree(root.trace_id)
+        assert [sp.name for sp in tree[""]] == ["cluster.get_batch"]
+        child_names = sorted(sp.name for sp in tree[root.span_id])
+        assert child_names == [
+            "cluster.gather", "worker.compute", "worker.compute",
+        ]
+    finally:
+        engine.close()
+
+
+def test_untraced_cluster_wire_format_unchanged():
+    # telemetry off: frames/replies keep their 3-tuple shape and no spans
+    # appear anywhere (nothing to ingest, no tracer to ingest into).
+    engine = open_engine(KEYS, executor="cluster", n_shards=2)
+    try:
+        assert engine.telemetry is None
+        out = engine.get_batch(SPREAD)
+        assert out.size == SPREAD.size
+    finally:
+        engine.close()
+
+
+def test_server_over_cluster_end_to_end_chain():
+    async def drive():
+        server = open_server(
+            KEYS,
+            executor="cluster",
+            n_shards=2,
+            telemetry="full",
+            max_batch=128,
+            max_delay=0.05,
+        )
+        engine = server.engine
+        try:
+            async with server:
+                await asyncio.gather(
+                    *(server.get(float(k)) for k in SPREAD)
+                )
+            return server
+        finally:
+            engine.close()
+
+    server = asyncio.run(drive())
+    tracer = server.telemetry.tracer
+
+    flushes = tracer.find("serve.flush")
+    assert flushes, "no flush span recorded"
+    flush = flushes[0]
+    assert flush.parent_id is None
+    assert flush.attrs["reason"] in ("size", "timer", "idle", "drain")
+    assert flush.attrs["queue_wait_us"] >= 0.0
+
+    # The full chain shares the flush's trace id at every stage.
+    chain = ("serve.dispatch", "cluster.get_batch", "worker.compute")
+    by_name = {name: tracer.find(name) for name in chain}
+    for name in chain:
+        assert by_name[name], f"no {name} span"
+        assert all(sp.trace_id == flush.trace_id for sp in by_name[name])
+
+    # Parent links: dispatch under flush, engine under dispatch, worker
+    # under the engine span — one unbroken path across the process gap.
+    dispatch = by_name["serve.dispatch"][0]
+    assert dispatch.parent_id == flush.span_id
+    cluster_spans = by_name["cluster.get_batch"]
+    assert all(sp.parent_id == dispatch.span_id for sp in cluster_spans)
+    cluster_ids = {sp.span_id for sp in cluster_spans}
+    workers = by_name["worker.compute"]
+    assert {w.attrs["shard"] for w in workers} == {0, 1}
+    for w in workers:
+        assert w.parent_id in cluster_ids
+        assert w.attrs["pid"] != os.getpid()
+
+    # The flush reason counted in the batcher's stats matches the span.
+    stats = server.stats()
+    reasons = stats["batcher"]["flush_reasons"]
+    assert reasons[flush.attrs["reason"]] >= 1
+    assert sum(reasons.values()) == stats["batcher"]["flushes"]
+    # And the shared registry saw traffic from both layers.
+    tel = stats["telemetry"]
+    assert tel["mode"] == "full"
+    ops = {
+        s["labels"]["op"]: s["value"]
+        for s in tel["metrics"]["repro_engine_keys_total"]["samples"]
+    }
+    assert ops["get_batch"] == SPREAD.size
+
+
+def test_shared_telemetry_instance_across_engines():
+    tel = Telemetry(mode="metrics")
+    a = open_engine(KEYS[:1000], executor="sharded", n_shards=2, telemetry=tel)
+    b = open_engine(KEYS[:1000], executor="single", telemetry=tel)
+    a.get_batch(KEYS[:16])
+    b.get_batch(KEYS[:16])
+    fam = tel.registry.get("repro_engine_keys_total")
+    samples = {lv: child.value for lv, child in fam.samples()}
+    assert samples[("get_batch",)] == 32.0

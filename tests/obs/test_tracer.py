@@ -1,0 +1,98 @@
+"""Unit tests for the span tracer: nesting, ring bounds, ingest."""
+
+import pytest
+
+from repro.obs import Telemetry, Tracer, span_record
+
+
+def test_nested_spans_share_trace_and_parent():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+        with tr.span("sibling") as sib:
+            assert sib.parent_id == outer.span_id
+    assert outer.parent_id is None
+    # Inner spans close (and record) before the outer one.
+    assert [sp.name for sp in tr.spans()] == ["inner", "sibling", "outer"]
+    tree = tr.tree(outer.trace_id)
+    assert {sp.name for sp in tree[outer.span_id]} == {"inner", "sibling"}
+    assert tree[""][0].name == "outer"
+
+
+def test_ctx_reflects_innermost_open_span():
+    tr = Tracer()
+    assert tr.ctx() is None
+    with tr.span("a") as a:
+        assert tr.ctx() == (a.trace_id, a.span_id)
+    assert tr.ctx() is None
+
+
+def test_duration_stamped_on_exception_path():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("broken"):
+            raise RuntimeError("boom")
+    (sp,) = tr.spans()
+    assert sp.name == "broken" and sp.duration >= 0.0
+
+
+def test_ring_capacity_and_dropped_counter():
+    tr = Tracer(capacity=4)
+    for i in range(7):
+        with tr.span(f"s{i}"):
+            pass
+    assert len(tr.spans()) == 4
+    assert tr.dropped == 3
+    assert [sp.name for sp in tr.spans()] == ["s3", "s4", "s5", "s6"]
+    tr.clear()
+    assert tr.spans() == [] and tr.dropped == 3
+
+
+def test_ingest_stitches_foreign_records():
+    tr = Tracer()
+    with tr.span("root") as root:
+        ctx = (root.trace_id, root.span_id)
+    rec = span_record("worker.compute", ctx, 1.0, 0.5, shard=3, pid=999)
+    tr.ingest([rec])
+    spans = tr.find("worker.compute")
+    assert len(spans) == 1
+    sp = spans[0]
+    assert sp.trace_id == root.trace_id
+    assert sp.parent_id == root.span_id
+    assert sp.attrs == {"shard": 3, "pid": 999}
+    assert sp.duration == 0.5
+
+
+def test_ingest_drops_malformed_records():
+    tr = Tracer()
+    tr.ingest([{"no": "ids"}, None, {"trace_id": "t"}])
+    assert tr.spans() == []
+    assert tr.dropped == 3
+
+
+def test_span_ids_are_pid_prefixed_and_unique():
+    import os
+
+    tr = Tracer()
+    with tr.span("a") as a:
+        pass
+    with tr.span("b") as b:
+        pass
+    prefix = f"{os.getpid():x}-"
+    assert a.span_id.startswith(prefix) and b.span_id.startswith(prefix)
+    assert a.span_id != b.span_id
+
+
+def test_telemetry_span_helper_modes():
+    tel = Telemetry(mode="metrics")
+    with tel.span("x") as sp:
+        assert sp is None  # metrics mode: no tracer, no-op block
+    full = Telemetry(mode="full")
+    with full.span("y") as sp:
+        assert sp is not None
+        assert full.ctx() == (sp.trace_id, sp.span_id)
+    snap = full.snapshot()
+    assert snap["mode"] == "full"
+    assert [s["name"] for s in snap["trace"]["spans"]] == ["y"]

@@ -1,0 +1,31 @@
+"""The ``repro.serve.protocol`` shim: warns once, re-exports identically."""
+
+import importlib
+import sys
+import warnings
+
+
+def _fresh_import():
+    sys.modules.pop("repro.serve.protocol", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.serve.protocol")
+    return module, caught
+
+
+def test_import_raises_deprecation_warning():
+    _, caught = _fresh_import()
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert dep, "importing repro.serve.protocol must warn"
+    assert "repro.api.protocol" in str(dep[0].message)
+
+
+def test_symbols_identical_to_canonical_module():
+    import repro.api.protocol as canonical
+
+    shim, _ = _fresh_import()
+    for name in ("BatchEngine", "EngineProtocol", "ShardDispatchEngine"):
+        assert getattr(shim, name) is getattr(canonical, name)
+    assert set(shim.__all__) == {
+        "BatchEngine", "EngineProtocol", "ShardDispatchEngine",
+    }

@@ -1,0 +1,61 @@
+"""LatencySeries: percentile-key consistency and window-eviction properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.stats import _PERCENTILES, LatencySeries
+
+
+def test_summary_keys_derive_from_percentile_set():
+    expected = (
+        {"count", "window", "mean_us", "max_us"}
+        | {f"p{p:g}_us" for p in _PERCENTILES}
+    )
+    empty = LatencySeries(8).summary()
+    assert set(empty) == expected
+    series = LatencySeries(8)
+    series.record(0.001)
+    assert set(series.summary()) == expected
+    # The documented defaults are present under their canonical names.
+    assert {"p50_us", "p95_us", "p99_us"} <= expected
+
+
+def test_empty_summary_reports_zeroes():
+    s = LatencySeries(4).summary()
+    assert s["count"] == 0 and s["window"] == 0
+    assert s["mean_us"] == s["p95_us"] == s["max_us"] == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    window=st.integers(min_value=1, max_value=50),
+    chunks=st.lists(
+        st.lists(
+            st.floats(
+                min_value=1e-7, max_value=1.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=20,
+        ),
+        max_size=12,
+    ),
+)
+def test_extend_evicts_oldest_beyond_window(window, chunks):
+    series = LatencySeries(window)
+    flat = []
+    for chunk in chunks:
+        series.extend(chunk)
+        flat.extend(chunk)
+    summary = series.summary()
+    # Lifetime count never truncates; the window is bounded.
+    assert summary["count"] == len(flat)
+    assert summary["window"] == min(len(flat), window)
+    if not flat:
+        return
+    survivors = flat[-window:]
+    # Eviction is strictly oldest-first: the summarized max/mean are the
+    # last `window` samples', not the lifetime stream's.
+    assert summary["max_us"] == round(max(survivors) * 1e6, 2)
+    assert abs(
+        summary["mean_us"] - sum(survivors) * 1e6 / len(survivors)
+    ) <= 0.011  # round-to-2-decimals slack

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.errors import InvalidParameterError
 from repro.obs import MODES as _TELEMETRY_MODES
 from repro.obs import Telemetry
+from repro.wal.store import DURABILITY_MODES as _DURABILITY_MODES
 
 __all__ = ["EngineConfig", "open_engine", "open_server"]
 
@@ -80,6 +81,22 @@ class EngineConfig:
     mp_context, lane_capacity, op_timeout:
         Cluster transport knobs (``executor="cluster"`` only); ``None``
         keeps the cluster defaults.
+    durability:
+        ``"off"`` (default — purely in-memory), ``"wal"`` (every write
+        group-committed to a write-ahead log before it is acknowledged)
+        or ``"wal+snapshot"`` (the WAL plus periodic snapshots that
+        truncate it). Durable engines recover their dataset from
+        ``data_dir`` when reopened, and a durable cluster *restarts*
+        crashed workers from snapshot + WAL instead of failing.
+    data_dir:
+        Directory holding the WAL, snapshots and manifest; required when
+        ``durability != "off"``. Reopening an existing ``data_dir``
+        recovers the persisted dataset (build keys must be omitted).
+    wal_sync:
+        Whether each group commit fsyncs (default True). ``False`` trades
+        power-loss safety for speed (process crashes stay safe).
+    snapshot_interval_bytes:
+        WAL bytes between automatic snapshots (``"wal+snapshot"`` only).
     max_batch, max_delay, eager_flush, max_pending, overload,
     serve_executor, shard_concurrency, latency_window:
         Serve-layer knobs applied by :func:`open_server`; see
@@ -103,6 +120,11 @@ class EngineConfig:
     mp_context: Any = None
     lane_capacity: Optional[int] = None
     op_timeout: float = 120.0
+    # -- durability --
+    durability: str = "off"
+    data_dir: Optional[str] = None
+    wal_sync: bool = True
+    snapshot_interval_bytes: int = 4 << 20
     # -- serve layer --
     max_batch: int = 1024
     max_delay: float = 0.002
@@ -132,6 +154,15 @@ class EngineConfig:
             raise InvalidParameterError(
                 f"telemetry must be one of {_TELEMETRY_MODES} or a Telemetry "
                 f"instance, got {self.telemetry!r}"
+            )
+        if self.durability not in _DURABILITY_MODES:
+            raise InvalidParameterError(
+                f"durability must be one of {_DURABILITY_MODES}, "
+                f"got {self.durability!r}"
+            )
+        if self.durability != "off" and not self.data_dir:
+            raise InvalidParameterError(
+                f"durability={self.durability!r} requires data_dir"
             )
 
     # ------------------------------------------------------------------
@@ -284,22 +315,10 @@ def open_engine(keys=None, values=None, *, config: Optional[EngineConfig] = None
     config = _resolved(config, overrides)
     n_shards = 1 if config.executor == "single" else config.n_shards
     telemetry = Telemetry.from_mode(config.telemetry)
+    if config.durability != "off":
+        return _open_durable(keys, values, config, n_shards, telemetry)
     if config.executor == "cluster":
-        from repro.cluster import ClusterEngine
-        from repro.cluster.shm import DEFAULT_LANE_CAPACITY
-
-        return ClusterEngine(
-            keys,
-            values,
-            n_shards=n_shards,
-            error=config.error,
-            buffer_capacity=config.buffer_capacity,
-            mp_context=config.mp_context,
-            lane_capacity=config.lane_capacity or DEFAULT_LANE_CAPACITY,
-            op_timeout=config.op_timeout,
-            index_factory=config.index_factory(),
-            telemetry=telemetry,
-        )
+        return _open_cluster(keys, values, config, n_shards, telemetry)
     from repro.engine import ShardedEngine
 
     return ShardedEngine(
@@ -309,6 +328,105 @@ def open_engine(keys=None, values=None, *, config: Optional[EngineConfig] = None
         index_factory=config.index_factory(),
         telemetry=telemetry,
     )
+
+
+def _open_cluster(keys, values, config, n_shards, telemetry):
+    """The plain (non-durable) cluster branch of :func:`open_engine`."""
+    from repro.cluster import ClusterEngine
+    from repro.cluster.shm import DEFAULT_LANE_CAPACITY
+
+    return ClusterEngine(
+        keys,
+        values,
+        n_shards=n_shards,
+        error=config.error,
+        buffer_capacity=config.buffer_capacity,
+        mp_context=config.mp_context,
+        lane_capacity=config.lane_capacity or DEFAULT_LANE_CAPACITY,
+        op_timeout=config.op_timeout,
+        index_factory=config.index_factory(),
+        telemetry=telemetry,
+    )
+
+
+def _cluster_from_states(states, config, telemetry):
+    """Boot a :class:`~repro.cluster.ClusterEngine` from recovered states."""
+    from repro.cluster import ClusterEngine
+    from repro.cluster.shm import DEFAULT_LANE_CAPACITY
+
+    return ClusterEngine.from_states(
+        states,
+        mp_context=config.mp_context,
+        lane_capacity=config.lane_capacity or DEFAULT_LANE_CAPACITY,
+        op_timeout=config.op_timeout,
+        telemetry=telemetry,
+    )
+
+
+def _open_durable(keys, values, config, n_shards, telemetry):
+    """The durable branch of :func:`open_engine`: open (or create) the
+    WAL store in ``config.data_dir``, recover or initialize, attach.
+
+    A fresh ``data_dir`` seeds a new store from the engine built over
+    ``keys``/``values``; an existing one recovers the persisted dataset
+    (snapshot + committed WAL tail) and rejects build keys — silently
+    merging a build dataset into recovered state would hide data loss.
+    """
+    from repro.engine import ShardedEngine
+    from repro.wal import WalStore, replay_ops
+
+    store = WalStore(
+        config.data_dir,
+        durability=config.durability,
+        snapshot_interval_bytes=config.snapshot_interval_bytes,
+        sync=config.wal_sync,
+    )
+    engine = None
+    try:
+        if store.exists:
+            if keys is not None and np.asarray(keys).size:
+                raise InvalidParameterError(
+                    "data_dir already holds a durable engine; open it "
+                    "without build keys (recovery restores the persisted "
+                    "dataset)"
+                )
+            rec = store.recover()
+            if config.executor == "cluster":
+                # Replay the tail into an in-process twin first: workers
+                # boot from fully-recovered states, and the store's
+                # retained tail stays aligned with what they hold.
+                proto = ShardedEngine.from_states(rec.states)
+                replay_ops(proto, rec.ops)
+                proto._next_rowid = rec.next_rowid
+                engine = _cluster_from_states(proto.to_states(), config,
+                                              telemetry)
+            else:
+                engine = ShardedEngine.from_states(
+                    rec.states, telemetry=telemetry
+                )
+                replay_ops(engine, rec.ops)
+                engine._next_rowid = rec.next_rowid
+        else:
+            if config.executor == "cluster":
+                engine = _open_cluster(keys, values, config, n_shards,
+                                       telemetry)
+                store.initialize(engine._pull_states())
+            else:
+                engine = ShardedEngine(
+                    keys,
+                    values,
+                    n_shards=n_shards,
+                    index_factory=config.index_factory(),
+                    telemetry=telemetry,
+                )
+                store.initialize(engine.to_states())
+        engine.attach_wal(store)
+        return engine
+    except BaseException:
+        if engine is not None:
+            engine.close()
+        store.close()
+        raise
 
 
 def open_server(keys=None, values=None, *, config: Optional[EngineConfig] = None,

@@ -1,0 +1,204 @@
+"""Durability experiment: what does the write-ahead log cost, and how
+fast is recovery?
+
+The :mod:`repro.wal` layer makes two promises this experiment prices:
+
+* **Off is free** — an engine opened with ``durability="off"`` carries
+  ``_wal=None`` and every instrumented write verb pays exactly one
+  ``is not None`` test per batch. ``off`` vs ``baseline`` (the raw batch
+  implementation, bypassing the durability wrapper) pins that at
+  <= 2% — the same guard shape the obs layer uses.
+* **Recovery is snapshot + tail** — reopening a durable ``data_dir``
+  loads the latest snapshot generation and replays only the committed
+  WAL records past it, so recovery time tracks dataset size (the
+  snapshot load) plus tail length, never total write history.
+
+Throughput rows measure ``insert_batch`` in four modes — ``baseline``,
+``off``, ``wal`` (group commit + fsync per batch) and ``wal+snapshot`` —
+matched-pair: every repeat round builds each mode a fresh engine over
+the identical base keys and streams the identical insert batches; each
+mode keeps its *minimum* round. Recovery rows time ``open_engine`` over
+an existing ``data_dir`` at several dataset sizes.
+
+Results are emitted to ``BENCH_wal.json``; the off-mode guard is pinned
+by ``tests/wal/test_overhead.py`` and the CI wal smoke row.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, register_experiment
+from repro.datasets import get
+from repro.engine import ShardedEngine
+
+#: The hard-guarded claim (CI smoke + tests/wal): disabled durability
+#: must stay within this fraction of the un-instrumented baseline.
+OFF_OVERHEAD_LIMIT_PCT = 2.0
+
+
+def _insert_ns_per_op(engine, batches: List[np.ndarray], fn) -> float:
+    """Nanoseconds per inserted key for one pass of ``fn`` over batches."""
+    total = int(sum(b.size for b in batches))
+    start = time.perf_counter()
+    for b in batches:
+        fn(b, None)
+    return (time.perf_counter() - start) * 1e9 / total
+
+
+def _build(keys, mode: str, tmp: str, n_shards: int, error: float):
+    """One fresh engine (and store, for durable modes) for a timed pass."""
+    from repro.api import open_engine
+
+    if mode in ("baseline", "off"):
+        return open_engine(keys, executor="sharded", n_shards=n_shards,
+                           error=error)
+    return open_engine(
+        keys,
+        executor="sharded",
+        n_shards=n_shards,
+        error=error,
+        durability=mode,
+        data_dir=tmp,
+        # Snapshot every ~1 MiB of log so the wal+snapshot row actually
+        # exercises rotation inside a bench-sized run.
+        snapshot_interval_bytes=1 << 20,
+    )
+
+
+@register_experiment("wal")
+def wal(
+    n: int = 200_000,
+    seed: int = 0,
+    n_inserts: Optional[int] = None,
+    batch_size: int = 1024,
+    n_shards: int = 4,
+    error: float = 64.0,
+    repeats: int = 3,
+    dataset: str = "uniform",
+    out: Optional[str] = "BENCH_wal.json",
+) -> ExperimentResult:
+    """WAL overhead on ``insert_batch`` plus recovery time vs size."""
+    if n_inserts is None:
+        n_inserts = min(n, 50_000)
+    keys = get(dataset, n=n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    extra = rng.uniform(float(keys[0]), float(keys[-1]), n_inserts)
+    batches = [
+        np.ascontiguousarray(extra[i : i + batch_size])
+        for i in range(0, n_inserts, batch_size)
+    ]
+
+    mode_names = ["baseline", "off", "wal", "wal+snapshot"]
+    best: Dict[str, float] = {}
+    for rnd in range(max(1, repeats)):
+        order = mode_names if rnd % 2 == 0 else mode_names[::-1]
+        for mode in order:
+            tmp = tempfile.mkdtemp(prefix="repro-wal-bench-")
+            try:
+                engine = _build(keys, mode, tmp, n_shards, error)
+                try:
+                    fn = (
+                        engine._insert_batch_impl
+                        if mode == "baseline"
+                        else engine.insert_batch
+                    )
+                    ns = _insert_ns_per_op(engine, batches, fn)
+                finally:
+                    engine.close()
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+            if mode not in best or ns < best[mode]:
+                best[mode] = ns
+
+    base_ns = best["baseline"]
+    rows: List[Dict[str, Any]] = []
+    for mode in mode_names:
+        ns = best[mode]
+        rows.append(
+            {
+                "kind": "insert_throughput",
+                "mode": mode,
+                "wall_ns_per_op": round(ns, 2),
+                "ops_per_second": round(1e9 / ns, 0) if ns else 0.0,
+                "overhead_pct": round((ns / base_ns - 1.0) * 100.0, 2),
+            }
+        )
+
+    # -- recovery time vs dataset size -------------------------------
+    tail = rng.uniform(float(keys[0]), float(keys[-1]), 2_000)
+    for size in sorted({max(n // 4, 1), max(n // 2, 1), n}):
+        tmp = tempfile.mkdtemp(prefix="repro-wal-bench-")
+        try:
+            from repro.api import open_engine
+
+            engine = open_engine(
+                keys[:size], executor="sharded", n_shards=n_shards,
+                error=error, durability="wal", data_dir=tmp,
+            )
+            engine.insert_batch(tail, None)
+            engine.close()
+            start = time.perf_counter()
+            recovered = open_engine(
+                executor="sharded", n_shards=n_shards, error=error,
+                durability="wal", data_dir=tmp,
+            )
+            recovery_s = time.perf_counter() - start
+            n_recovered = len(recovered)
+            recovered.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        rows.append(
+            {
+                "kind": "recovery",
+                "n": int(size),
+                "tail_ops": int(tail.size),
+                "n_recovered": int(n_recovered),
+                "recovery_ms": round(recovery_s * 1e3, 2),
+                "keys_per_second": round(n_recovered / recovery_s, 0),
+            }
+        )
+
+    off_pct = next(
+        r["overhead_pct"] for r in rows if r.get("mode") == "off"
+    )
+    notes = [
+        f"off-mode overhead {off_pct:+.2f}% vs baseline "
+        f"(guard <= {OFF_OVERHEAD_LIMIT_PCT:.0f}%)",
+        "matched-pair minimum over "
+        f"{repeats} rounds, {len(batches)} insert batches of {batch_size}",
+        "recovery = snapshot load + committed-tail replay via open_engine",
+    ]
+
+    params: Dict[str, Any] = {
+        "n": n,
+        "n_inserts": n_inserts,
+        "batch_size": batch_size,
+        "n_shards": n_shards,
+        "error": error,
+        "repeats": repeats,
+        "dataset": dataset,
+        "seed": seed,
+        "off_overhead_limit_pct": OFF_OVERHEAD_LIMIT_PCT,
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(
+                {"experiment": "wal", "params": params, "rows": rows},
+                fh,
+                indent=2,
+            )
+        notes.append(f"wrote {out}")
+    return ExperimentResult(
+        name="wal",
+        title="WAL durability: write overhead and recovery time",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

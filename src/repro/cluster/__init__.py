@@ -20,7 +20,17 @@ machine:
   ``warm`` / ``version`` + scalar mirrors), so
   :class:`repro.serve.Server` runs over it unchanged;
 * :mod:`~repro.cluster.errors` — :class:`ClusterError` /
-  :class:`WorkerCrashedError`, the typed transport failures.
+  :class:`WorkerCrashedError` / :class:`WorkerRecoveredError`, the typed
+  transport failures.
+
+With a :class:`repro.wal.WalStore` attached (``ClusterEngine.attach_wal``
+or ``open_engine(durability=...)``), every write chunk is logged and
+group-committed *before* dispatch, and a crashed worker is **restarted**
+from snapshot + WAL tail instead of surfacing a terminal
+:class:`WorkerCrashedError`: reads retry transparently, inserts replay
+from the log, and a delete whose reply died with the worker raises the
+typed :class:`WorkerRecoveredError` (the deletion *is* applied — only
+the returned values were lost).
 
 Quickstart::
 
@@ -33,8 +43,12 @@ dispatch at 1/2/4 workers and writes ``BENCH_cluster.json``.
 """
 
 from repro.cluster.engine import ClusterEngine
-from repro.cluster.errors import ClusterError, WorkerCrashedError
-from repro.cluster.shm import ShmLane, attach_lane
+from repro.cluster.errors import (
+    ClusterError,
+    WorkerCrashedError,
+    WorkerRecoveredError,
+)
+from repro.cluster.shm import ShmLane, attach_lane, teardown_errors
 from repro.cluster.snapshot import (
     engine_to_states,
     index_from_state,
@@ -46,8 +60,10 @@ __all__ = [
     "ClusterError",
     "ShmLane",
     "WorkerCrashedError",
+    "WorkerRecoveredError",
     "attach_lane",
     "engine_to_states",
     "index_from_state",
     "register_index_class",
+    "teardown_errors",
 ]

@@ -33,6 +33,17 @@ errors *inside* a live worker — invalid parameters and friends — are
 pickled back and re-raised as themselves. :meth:`close` shuts workers
 down cleanly (shutdown frame, join, terminate stragglers) and releases
 every shared-memory block.
+
+With a :class:`repro.wal.WalStore` attached (:meth:`attach_wal`), the
+failure model upgrades from fail-stop to **restart-on-crash**: every
+write chunk is logged and group-committed *before* dispatch, so a dead
+worker is respawned from the latest snapshot plus the committed WAL tail
+and the round re-fences. Reads retry transparently; an insert whose
+worker died is re-applied from the log; a delete whose reply died with
+the worker raises :class:`~repro.cluster.errors.WorkerRecoveredError`
+(the deletion is durably applied — only the returned values were lost).
+A timed-out (poisoned) worker becomes recoverable the same way: its
+process is killed and restored instead of being permanently fenced off.
 """
 
 from __future__ import annotations
@@ -44,15 +55,25 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.cluster.errors import ClusterError, WorkerCrashedError
-from repro.cluster.shm import DEFAULT_LANE_CAPACITY, ShmLane
+from repro.cluster.errors import (
+    ClusterError,
+    WorkerCrashedError,
+    WorkerRecoveredError,
+)
+from repro.cluster.shm import (
+    DEFAULT_LANE_CAPACITY,
+    ShmLane,
+    note_teardown_error,
+    teardown_errors,
+)
 from repro.cluster.snapshot import engine_to_states
 from repro.cluster.worker import shard_worker_main
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, KeyNotFoundError
 from repro.core.page import aligned_value_array
 from repro.core.serialize import _registry
 from repro.engine.engine import ShardedEngine
 from repro.engine.partition import route, shard_bounds
+from repro.wal.format import OP_DELETE, OP_INSERT
 
 __all__ = ["ClusterEngine"]
 
@@ -190,6 +211,49 @@ class ClusterEngine:
         )
         return obj
 
+    @classmethod
+    def from_states(
+        cls,
+        states: Dict[str, Any],
+        *,
+        mp_context: Any = None,
+        lane_capacity: int = DEFAULT_LANE_CAPACITY,
+        op_timeout: float = 120.0,
+        telemetry: Any = None,
+    ) -> "ClusterEngine":
+        """Boot a cluster straight from a whole-engine states dict.
+
+        This is the recovery entry point: ``open_engine`` feeds it the
+        snapshot states a :class:`repro.wal.WalStore` recovered (after
+        replaying the committed WAL tail in-process), skipping the
+        segmentation pass the keyed constructor would run.
+
+        Parameters
+        ----------
+        states:
+            A whole-engine snapshot as produced by
+            :func:`repro.cluster.engine_to_states` /
+            :meth:`repro.engine.ShardedEngine.to_states` — ``cuts``,
+            ``auto_rowid``, ``next_rowid`` and one ``to_state`` dict per
+            shard.
+        mp_context, lane_capacity, op_timeout, telemetry:
+            As for the constructor.
+
+        Returns
+        -------
+        ClusterEngine
+            A cluster whose workers hold exactly the given shard states.
+        """
+        obj = cls.__new__(cls)
+        obj._boot(
+            states,
+            mp_context=mp_context,
+            lane_capacity=lane_capacity,
+            op_timeout=op_timeout,
+            telemetry=telemetry,
+        )
+        return obj
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -208,6 +272,8 @@ class ClusterEngine:
             ctx = mp.get_context(method)
         else:
             ctx = mp_context
+        self._ctx = ctx
+        self._lane_capacity = int(lane_capacity)
         self.cuts: np.ndarray = states["cuts"]
         self._auto_rowid: bool = states["auto_rowid"]
         self._next_rowid: int = states["next_rowid"]
@@ -217,48 +283,214 @@ class ClusterEngine:
             if shard_states
             else np.dtype(np.int64)
         )
-        self._n = sum(int(s["n"]) for s in shard_states)
+        #: Last-known element count per shard, refreshed from every
+        #: worker ``stats`` reply and worker restore — lets a failed
+        #: round resync ``_n`` per *live* shard instead of requiring a
+        #: full all-shards round (which a single dead worker would veto).
+        self._shard_ns: List[int] = [int(s["n"]) for s in shard_states]
+        self._n = sum(self._shard_ns)
         self._op_timeout = float(op_timeout)
         self._closed = False
         #: Shards whose reply stream can no longer be trusted (a timed-out
-        #: round may deliver its reply later); permanently fenced off.
+        #: round may deliver its reply later); fenced off until a worker
+        #: restore (durable engines) replaces the process outright.
         self._poisoned: set = set()
         self._versions: List[int] = [int(s["version"]) for s in shard_states]
+        self._wal: Any = None
         self._workers: List[_WorkerHandle] = []
-        cuts = self.cuts
         try:
             for sid, state in enumerate(shard_states):
-                lo = float(cuts[sid - 1]) if sid > 0 else None
-                hi = float(cuts[sid]) if sid < cuts.size else None
-                parent_conn, child_conn = ctx.Pipe()
-                req = ShmLane(lane_capacity)
-                resp = ShmLane(lane_capacity)
-                # Resolve the shard's class here and ship it with the
-                # snapshot: a spawn-context child re-imports with a fresh
-                # registry, so parent-side register_index_class calls
-                # would otherwise be invisible to it.
-                index_cls = _registry().get(state["index_cls"])
-                process = ctx.Process(
-                    target=shard_worker_main,
-                    args=(child_conn, state, sid, lo, hi, index_cls),
-                    daemon=True,
-                    name=f"repro-shard-{sid}",
-                )
-                process.start()
-                child_conn.close()
-                self._workers.append(
-                    _WorkerHandle(process, parent_conn, req, resp, lo, hi)
-                )
-            for sid, worker in enumerate(self._workers):
-                reply = self._recv(sid)
-                if reply[0] != "ready":
-                    raise ClusterError(
-                        f"shard {sid} worker failed to start: {reply!r}"
-                    )
-                self._versions[sid] = int(reply[1])
+                self._workers.append(self._spawn_worker(sid, state))
+            for sid in range(len(self._workers)):
+                self._await_ready(sid)
         except BaseException:
             self.close()
             raise
+
+    def _spawn_worker(self, sid: int, state: Dict[str, Any]) -> _WorkerHandle:
+        """Create one shard worker (pipe, two lanes, process).
+
+        On any failure every resource this call created — lanes, pipe
+        ends, a started process — is released before re-raising, so a
+        partial spawn can never leak (the caller's cleanup only covers
+        fully-constructed handles).
+        """
+        cuts = self.cuts
+        lo = float(cuts[sid - 1]) if sid > 0 else None
+        hi = float(cuts[sid]) if sid < cuts.size else None
+        parent_conn = child_conn = req = resp = process = None
+        try:
+            parent_conn, child_conn = self._ctx.Pipe()
+            req = ShmLane(self._lane_capacity)
+            resp = ShmLane(self._lane_capacity)
+            # Resolve the shard's class here and ship it with the
+            # snapshot: a spawn-context child re-imports with a fresh
+            # registry, so parent-side register_index_class calls
+            # would otherwise be invisible to it.
+            index_cls = _registry().get(state["index_cls"])
+            process = self._ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, state, sid, lo, hi, index_cls),
+                daemon=True,
+                name=f"repro-shard-{sid}",
+            )
+            process.start()
+            child_conn.close()
+            return _WorkerHandle(process, parent_conn, req, resp, lo, hi)
+        except BaseException:
+            for lane in (req, resp):
+                if lane is not None:
+                    lane.close()
+            for conn in (parent_conn, child_conn):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        note_teardown_error()
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(1.0)
+            raise
+
+    def _await_ready(self, sid: int) -> None:
+        """Block until shard ``sid``'s worker reports ready."""
+        reply = self._recv(sid)
+        if reply[0] != "ready":
+            raise ClusterError(
+                f"shard {sid} worker failed to start: {reply!r}"
+            )
+        self._versions[sid] = int(reply[1])
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, store: Any) -> None:
+        """Attach a :class:`repro.wal.WalStore`; upgrade to restart-on-crash.
+
+        Every write chunk is logged per shard and group-committed *before*
+        dispatch, and the store retains the committed tail in memory so a
+        crashed worker can be respawned from its snapshot state plus a
+        replay of its tail records. Periodic snapshots are taken at safe
+        points (after a verb completes, no locks held) by pulling
+        ``to_state`` from every worker.
+
+        Parameters
+        ----------
+        store:
+            An open :class:`repro.wal.WalStore`, already ``initialize``-d
+            or ``recover``-ed to match this engine's current state.
+        """
+        if self._values_dtype == np.dtype(object):
+            raise InvalidParameterError(
+                "durability requires a fixed-width values dtype; object "
+                "payloads have no WAL encoding"
+            )
+        store.set_retain_tail(True)
+        store.bind(self._pull_states)
+        self._wal = store
+
+    def _pull_states(self) -> Dict[str, Any]:
+        """Whole-engine snapshot pulled live from the workers (the
+        state provider a bound ``WalStore`` snapshots from)."""
+        shard_states = self._broadcast(("to_state",))
+        return {
+            "cuts": self.cuts.copy(),
+            "auto_rowid": self._auto_rowid,
+            "next_rowid": self._next_rowid,
+            "shards": shard_states,
+        }
+
+    def _maybe_snapshot(self) -> None:
+        """Roll a snapshot when the WAL is due (called at safe points,
+        after a verb completed and with no worker locks held)."""
+        if self._wal is None:
+            return
+        try:
+            self._wal.maybe_snapshot()
+        except ClusterError:
+            # A worker died mid-pull: the previous generation's manifest
+            # is still intact and the next verb will surface (and, with
+            # durability on, recover) the crash. Skipping the snapshot
+            # is always safe — the tail just stays longer.
+            pass
+
+    def _reap_worker(self, sid: int) -> None:
+        """Tear down shard ``sid``'s dead/poisoned worker's resources."""
+        worker = self._workers[sid]
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+        process.join(5.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            note_teardown_error()
+        worker.req.close()
+        worker.resp.close()
+
+    def _restore_worker(self, sid: int, *, skip_lsn: Optional[int] = None) -> None:
+        """Respawn shard ``sid``'s worker from snapshot + WAL tail.
+
+        The caller holds the worker's lock (or all locks). The dead
+        process and its lanes are reaped, a fresh worker is rebuilt from
+        the store's snapshot state for this shard, and the committed tail
+        records owned by the shard are replayed through the normal verb
+        frames — after which the worker is exactly where the crashed one
+        durably was.
+
+        Parameters
+        ----------
+        sid:
+            The shard whose worker died.
+        skip_lsn:
+            A tail record to *exclude* from replay because the caller
+            will re-send it as a live frame instead (a delete whose
+            reply payload is still wanted).
+        """
+        if self._wal is None:
+            raise self._crash(
+                sid, "no durability store attached; cannot restore"
+            )
+        old = self._workers[sid]
+        self._reap_worker(sid)
+        state = self._wal.load_shard_state(sid)
+        # The snapshot's version stamp may trail the versions the parent
+        # already acknowledged; keep the engine-wide barrier monotonic.
+        state["version"] = max(int(state["version"]), self._versions[sid])
+        handle = self._spawn_worker(sid, state)
+        # Callers hold the *old* handle's lock across this restore; the
+        # new handle must keep the same lock object so that hold (and
+        # every queued waiter) stays meaningful.
+        handle.lock = old.lock
+        handle.ipc = old.ipc
+        self._workers[sid] = handle
+        self._poisoned.discard(sid)
+        self._await_ready(sid)
+        for rec in self._wal.tail_ops(sid, skip_lsn=skip_lsn):
+            self._replay_record(sid, rec)
+        self._send(sid, ("stats",))
+        reply = self._recv(sid)
+        self._shard_ns[sid] = int(reply[2]["n"])
+        self._n = sum(self._shard_ns)
+
+    def _replay_record(self, sid: int, rec: Any) -> None:
+        """Re-apply one committed tail record to a restored worker."""
+        if rec.op == OP_INSERT:
+            self._send_insert(sid, rec.keys, rec.values)
+            self._recv(sid)
+        elif rec.op == OP_DELETE:
+            self._send_delete(sid, rec.keys, rec.missing)
+            try:
+                self._recv(sid)
+            except KeyNotFoundError:
+                # Deterministic replay of a strict delete that failed
+                # the first time fails identically; state matches.
+                pass
+        else:
+            raise ClusterError(
+                f"shard {sid} WAL tail holds unreplayable op {rec.op}"
+            )
 
     def _register_telemetry(self, telemetry: Any) -> None:
         """Wire the cluster's counters and pull-based sources into the
@@ -290,10 +522,12 @@ class ClusterEngine:
         )
 
     def _collect_ipc(self) -> Dict[str, float]:
-        return {
+        out = {
             key: sum(w.ipc[key] for w in self._workers)
             for key in ("batches", "pickle_fallbacks", "lane_growths")
         }
+        out["teardown_errors"] = teardown_errors()
+        return out
 
     def _collect_size(self) -> Dict[str, float]:
         return {
@@ -332,7 +566,8 @@ class ClusterEngine:
             try:
                 worker.conn.send(("shutdown",))
             except (BrokenPipeError, OSError):
-                pass
+                # Expected for already-dead workers; recorded, not silent.
+                note_teardown_error()
         for worker in self._workers:
             process = worker.process
             process.join(timeout)
@@ -342,9 +577,12 @@ class ClusterEngine:
             try:
                 worker.conn.close()
             except OSError:  # pragma: no cover - already closed
-                pass
+                note_teardown_error()
             worker.req.close()
             worker.resp.close()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     def __enter__(self) -> "ClusterEngine":
         return self
@@ -355,8 +593,8 @@ class ClusterEngine:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close(timeout=1.0)
-        except Exception:
-            pass
+        except (OSError, FileNotFoundError, BufferError):
+            note_teardown_error()
 
     # ------------------------------------------------------------------
     # Transport
@@ -408,13 +646,18 @@ class ClusterEngine:
             self._versions[sid] = int(reply[1])
         return reply
 
-    def _gather(self, sids) -> Dict[int, Tuple]:
+    def _gather(
+        self, sids, errors: Optional[Dict[int, BaseException]] = None
+    ) -> Dict[int, Tuple]:
         """Collect one reply per shard in ``sids``, draining every pipe.
 
         Never stops at the first failure: a reply left in flight would be
         mistaken for the *next* operation's answer (one round behind —
         worse than an exception, it acknowledges fences that did not
-        happen). All pipes are drained, then the first failure re-raises.
+        happen). All pipes are drained, then the first failure re-raises —
+        unless ``errors`` is given, in which case failures are recorded
+        per shard there and nothing raises (the durable-round path, which
+        recovers failed shards instead of propagating).
         """
         replies: Dict[int, Tuple] = {}
         first_exc: Optional[BaseException] = None
@@ -422,13 +665,17 @@ class ClusterEngine:
             try:
                 replies[sid] = self._recv(sid)
             except BaseException as exc:
-                if first_exc is None:
+                if errors is not None:
+                    errors[sid] = exc
+                elif first_exc is None:
                     first_exc = exc
-        if first_exc is not None:
+        if errors is None and first_exc is not None:
             raise first_exc
         return replies
 
-    def _round(self, jobs) -> Dict[int, Tuple]:
+    def _round(
+        self, jobs, errors: Optional[Dict[int, BaseException]] = None
+    ) -> Dict[int, Tuple]:
         """One fenced dispatch round: run every send thunk, drain every
         reply.
 
@@ -437,6 +684,11 @@ class ClusterEngine:
         the wire are still drained (:meth:`_gather`) before the first
         failure re-raises — the invariant that keeps every worker's pipe
         exactly one request/one reply in step.
+
+        With an ``errors`` dict, the round never raises: every send is
+        *attempted* (a crashed shard must not abort its siblings' sends —
+        their chunks are already logged and will be fenced), every live
+        reply is drained, and per-shard failures land in ``errors``.
         """
         sent: List[int] = []
         send_exc: Optional[BaseException] = None
@@ -445,16 +697,47 @@ class ClusterEngine:
                 send()
                 sent.append(sid)
             except BaseException as exc:
+                if errors is not None:
+                    errors[sid] = exc
+                    continue
                 send_exc = exc
                 break
         try:
-            replies = self._gather(sent)
+            replies = self._gather(sent, errors)
         except BaseException:
             if send_exc is None:
                 raise
             replies = {}
         if send_exc is not None:
             raise send_exc
+        return replies
+
+    def _round_durable(self, thunks: Dict[int, Any]) -> Dict[int, Tuple]:
+        """A read round that restores crashed workers and retries once.
+
+        ``thunks`` maps shard id → send thunk. Without a WAL this is a
+        plain :meth:`_round`. With one, transport failures
+        (:class:`ClusterError`) trigger a worker restore from
+        snapshot + tail, then the restored shards' thunks re-run in one
+        plain retry round — a second failure propagates. Worker-side
+        application errors re-raise as themselves either way.
+        """
+        jobs = sorted(thunks.items())
+        if self._wal is None:
+            return self._round(jobs)
+        errors: Dict[int, BaseException] = {}
+        replies = self._round(jobs, errors)
+        if not errors:
+            return replies
+        retry: List[int] = []
+        for sid in sorted(errors):
+            exc = errors[sid]
+            if isinstance(exc, ClusterError):
+                self._restore_worker(sid)
+                retry.append(sid)
+            else:
+                raise exc
+        replies.update(self._round([(sid, thunks[sid]) for sid in retry]))
         return replies
 
     def _ensure_lanes(self, sid: int, req_bytes: int, resp_bytes: int) -> None:
@@ -510,7 +793,8 @@ class ClusterEngine:
         """
         self._check_open()
         per_shard = self._broadcast(("stats",))
-        self._n = sum(s["n"] for s in per_shard)
+        self._shard_ns = [int(s["n"]) for s in per_shard]
+        self._n = sum(self._shard_ns)
         return {
             "backend": "cluster",
             "n": self._n,
@@ -532,9 +816,13 @@ class ClusterEngine:
                 for w in self._workers
             ],
             "ipc": {
-                key: sum(w.ipc[key] for w in self._workers)
-                for key in ("batches", "pickle_fallbacks", "lane_growths")
+                **{
+                    key: sum(w.ipc[key] for w in self._workers)
+                    for key in ("batches", "pickle_fallbacks", "lane_growths")
+                },
+                "teardown_errors": teardown_errors(),
             },
+            "wal": None if self._wal is None else self._wal.stats(),
         }
 
     def warm(self) -> None:
@@ -653,11 +941,11 @@ class ClusterEngine:
         ctx = trace[1] if trace is not None else None
         self._acquire_all()
         try:
-            replies = self._round(
-                [
-                    (i, lambda i=i, idx=idx: self._send_get(i, q[idx], ctx))
+            replies = self._round_durable(
+                {
+                    i: (lambda i=i, idx=idx: self._send_get(i, q[idx], ctx))
                     for i, idx in groups
-                ]
+                }
             )
             if trace is not None:
                 tracer = trace[0]
@@ -714,8 +1002,16 @@ class ClusterEngine:
         ctx = tel.ctx() if tel is not None else None
         worker = self._workers[sid]
         with worker.lock:
-            self._send_get(sid, q, ctx)
-            reply = self._recv(sid)
+            try:
+                self._send_get(sid, q, ctx)
+                reply = self._recv(sid)
+            except ClusterError:
+                if self._wal is None:
+                    raise
+                # Reads are idempotent: restore the worker and re-ask.
+                self._restore_worker(sid)
+                self._send_get(sid, q, ctx)
+                reply = self._recv(sid)
             if ctx is not None and len(reply) > 3 and reply[3]:
                 tel.tracer.ingest(reply[3])
             values, found = self._decode_get(sid, reply[2])
@@ -854,16 +1150,15 @@ class ClusterEngine:
                 jobs.append((sid, idx))
         self._acquire_all()
         try:
-            raw = self._round(
-                [
-                    (
-                        sid,
+            raw = self._round_durable(
+                {
+                    sid: (
                         lambda sid=sid, idx=idx: self._send_ranges(
                             sid, bounds[idx], include_lo, include_hi
-                        ),
+                        )
                     )
                     for sid, idx in jobs
-                ]
+                }
             )
             replies = [
                 (sid, idx, self._decode_ranges(sid, raw[sid][2]))
@@ -1023,47 +1318,89 @@ class ClusterEngine:
             for sid, (a, b) in enumerate(shard_bounds(keys, self.cuts))
             if a < b
         ]
+        wal = self._wal
+        if wal is not None:
+            # Log + group-commit every chunk BEFORE dispatch: once the
+            # fsync returns, a worker crash anywhere below replays the
+            # chunk from the tail instead of losing it.
+            for sid, a, b in jobs:
+                wal.log_insert(sid, keys[a:b], values[a:b])
+            wal.commit(self._next_rowid)
+        thunks = {
+            sid: (
+                lambda sid=sid, a=a, b=b: self._send_insert(
+                    sid, keys[a:b], values[a:b]
+                )
+            )
+            for sid, a, b in jobs
+        }
         self._acquire_all()
         try:
             # The fence: every owning worker has replied (i.e. applied its
             # chunk) before this returns — and every reply is drained even
             # on failure, so the pipes never fall a round behind.
-            try:
-                self._round(
-                    [
-                        (
-                            sid,
-                            lambda sid=sid, a=a, b=b: self._send_insert(
-                                sid, keys[a:b], values[a:b]
-                            ),
-                        )
-                        for sid, a, b in jobs
-                    ]
-                )
-            except BaseException:
-                # Some chunks may have applied before the failure; resync
-                # the cached element count from the workers (ShardedEngine
-                # counts partial applies too — len() must agree).
-                self._resync_len()
-                raise
+            if wal is None:
+                try:
+                    self._round(sorted(thunks.items()))
+                except BaseException:
+                    # Some chunks may have applied before the failure;
+                    # resync the cached element count from the live
+                    # workers (ShardedEngine counts partial applies too —
+                    # len() must agree).
+                    self._resync_len()
+                    raise
+                for sid, a, b in jobs:
+                    self._shard_ns[sid] += b - a
+                self._n = sum(self._shard_ns)
+            else:
+                errors: Dict[int, BaseException] = {}
+                self._round(sorted(thunks.items()), errors)
+                if errors:
+                    app_exc: Optional[BaseException] = None
+                    for sid in sorted(errors):
+                        exc = errors[sid]
+                        if isinstance(exc, ClusterError):
+                            # The restore replays the full committed tail
+                            # — including this round's chunk, so the
+                            # insert is applied, not lost.
+                            self._restore_worker(sid)
+                        elif app_exc is None:
+                            app_exc = exc
+                    self._resync_len()
+                    if app_exc is not None:
+                        raise app_exc
+                else:
+                    for sid, a, b in jobs:
+                        self._shard_ns[sid] += b - a
+                    self._n = sum(self._shard_ns)
         finally:
             self._release_all()
-        self._n += keys.size
+        self._maybe_snapshot()
 
     def _resync_len(self) -> None:
-        """Best-effort recount of ``_n`` from live workers (caller holds
-        every worker lock). A dead/poisoned worker leaves the old count —
-        the next successful :meth:`stats` call resyncs it."""
-        try:
-            replies = self._round(
-                [
-                    (sid, lambda sid=sid: self._send(sid, ("stats",)))
-                    for sid in range(self.n_shards)
-                ]
-            )
-        except BaseException:
-            return
-        self._n = sum(replies[sid][2]["n"] for sid in replies)
+        """Recount ``_n`` from every *live* worker (caller holds every
+        worker lock involved in the failed round).
+
+        Queries each live, unpoisoned shard independently so one dead
+        worker cannot veto the whole recount (the bug that used to leave
+        ``len(engine)`` desynced after a partially-applied round: the
+        all-shards round raised on the dead shard and the old count
+        survived). Dead/poisoned shards keep their last-known
+        ``_shard_ns`` entry — refreshed on restore or the next
+        successful :meth:`stats` call."""
+        errors: Dict[int, BaseException] = {}
+        replies = self._round(
+            [
+                (sid, lambda sid=sid: self._send(sid, ("stats",)))
+                for sid in range(self.n_shards)
+                if sid not in self._poisoned
+                and self._workers[sid].process.is_alive()
+            ],
+            errors,
+        )
+        for sid, reply in replies.items():
+            self._shard_ns[sid] = int(reply[2]["n"])
+        self._n = sum(self._shard_ns)
 
     def delete(self, key: float) -> Any:
         """Scalar delete (a one-key fenced batch through the owning worker).
@@ -1121,25 +1458,76 @@ class ClusterEngine:
             for sid, (a, b) in enumerate(shard_bounds(skeys, self.cuts))
             if a < b
         ]
+        wal = self._wal
+        lsns: Dict[int, int] = {}
+        if wal is not None:
+            # Log + group-commit before dispatch, exactly as for inserts.
+            for sid, a, b in jobs:
+                lsns[sid] = wal.log_delete(sid, skeys[a:b], missing)
+            wal.commit(self._next_rowid)
+        chunk = {sid: (a, b) for sid, a, b in jobs}
+        thunks = {
+            sid: (
+                lambda sid=sid, a=a, b=b: self._send_delete(
+                    sid, skeys[a:b], missing
+                )
+            )
+            for sid, a, b in jobs
+        }
+        resynced = False
         self._acquire_all()
         try:
-            try:
-                replies = self._round(
-                    [
-                        (
-                            sid,
-                            lambda sid=sid, a=a, b=b: self._send_delete(
-                                sid, skeys[a:b], missing
-                            ),
-                        )
-                        for sid, a, b in jobs
-                    ]
-                )
-            except BaseException:
-                # Some chunks may have applied before the failure (their
-                # replies were drained); recount from the workers.
-                self._resync_len()
-                raise
+            if wal is None:
+                try:
+                    replies = self._round(sorted(thunks.items()))
+                except BaseException:
+                    # Some chunks may have applied before the failure
+                    # (their replies were drained); recount from the
+                    # live workers.
+                    self._resync_len()
+                    raise
+            else:
+                errors: Dict[int, BaseException] = {}
+                replies = self._round(sorted(thunks.items()), errors)
+                app_exc: Optional[BaseException] = None
+                lost: List[int] = []
+                for sid in sorted(errors):
+                    exc = errors[sid]
+                    if not isinstance(exc, ClusterError):
+                        if app_exc is None:
+                            app_exc = exc
+                        continue
+                    # The crashed worker took the reply payload (the
+                    # deleted values) with it. Restore it *without*
+                    # replaying this round's record, then re-send the
+                    # chunk live to recover the values too.
+                    try:
+                        self._restore_worker(sid, skip_lsn=lsns[sid])
+                        a, b = chunk[sid]
+                        self._send_delete(sid, skeys[a:b], missing)
+                        replies[sid] = self._recv(sid)
+                    except ClusterError:
+                        # Crashed again mid-retry: restore with the full
+                        # tail (the deletion is durably applied) and
+                        # report the lost payload as a typed,
+                        # non-retryable error.
+                        self._restore_worker(sid)
+                        lost.append(sid)
+                    except BaseException as exc2:
+                        if app_exc is None:
+                            app_exc = exc2
+                if errors:
+                    self._resync_len()
+                    resynced = True
+                if app_exc is not None:
+                    raise app_exc
+                if lost:
+                    raise WorkerRecoveredError(
+                        lost[0],
+                        detail="deleted values lost in crash; the "
+                        "deletions themselves are durably applied — "
+                        "do not retry",
+                    )
             parts = [
                 (order[a:b], self._decode_get(sid, replies[sid][2]))
                 for sid, a, b in jobs
@@ -1147,15 +1535,23 @@ class ClusterEngine:
             # Scatter and count hits while the locks pin the response
             # lanes (the parts hold zero-copy lane views).
             out = self._scatter(keys.size, parts, default)
-            hits = sum(
-                idx.size if found is None else int(np.asarray(found).sum())
-                for idx, (_values, found) in parts
-            )
+            hits = {
+                sid: (
+                    idx.size
+                    if found is None
+                    else int(np.asarray(found).sum())
+                )
+                for (sid, _a, _b), (idx, (_values, found)) in zip(jobs, parts)
+            }
         finally:
             self._release_all()
-        self._n -= hits
+        if not resynced:
+            for sid, n_hits in hits.items():
+                self._shard_ns[sid] -= n_hits
+            self._n = sum(self._shard_ns)
         if self._telemetry is not None:
             self._obs_count("delete_batch", int(keys.size))
+        self._maybe_snapshot()
         return out
 
     def _send_delete(self, sid: int, keys: np.ndarray, missing: str) -> None:

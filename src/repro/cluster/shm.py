@@ -34,7 +34,13 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ShmLane", "attach_lane", "DEFAULT_LANE_CAPACITY"]
+__all__ = [
+    "ShmLane",
+    "attach_lane",
+    "DEFAULT_LANE_CAPACITY",
+    "note_teardown_error",
+    "teardown_errors",
+]
 
 #: Default lane size: comfortably holds a 64k-key float64 batch plus masks.
 DEFAULT_LANE_CAPACITY = 1 << 20
@@ -182,13 +188,37 @@ class ShmLane:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, FileNotFoundError, BufferError):
+            note_teardown_error()
 
 
 #: Blocks whose unmap was deferred because NumPy views still alias them.
 #: Kept referenced (so no __del__ mid-flight) and re-tried opportunistically.
 _ZOMBIES: List["shared_memory.SharedMemory"] = []
+
+#: Teardown failures swallowed across the cluster transport (lane close,
+#: pipe close, shutdown sends to dead workers). Silent ``except: pass``
+#: blocks used to hide these; now every swallow increments this counter,
+#: surfaced as ``stats()["ipc"]["teardown_errors"]`` and the
+#: ``cluster.teardown_errors`` obs metric.
+_TEARDOWN_ERRORS = {"count": 0}
+
+
+def note_teardown_error() -> None:
+    """Record one swallowed teardown failure (cluster-wide counter)."""
+    _TEARDOWN_ERRORS["count"] += 1
+
+
+def teardown_errors() -> int:
+    """Teardown failures swallowed so far in this process.
+
+    Returns
+    -------
+    int
+        The running count of swallowed lane/pipe/process teardown
+        errors since import.
+    """
+    return _TEARDOWN_ERRORS["count"]
 
 
 def _dispose(shm, unlink: bool) -> None:
@@ -235,8 +265,8 @@ def attach_lane(name: str) -> ShmLane:
     if not shared_tracker:
         try:  # pragma: no cover - unrelated-process-tree path
             resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
+        except (OSError, FileNotFoundError, BufferError, KeyError):
+            note_teardown_error()
     return ShmLane(shm=shm)
 
 

@@ -345,6 +345,10 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
         return ("ok", server.index.version, None)
     if verb == "stats":
         return ("ok", server.index.version, server.index.stats())
+    if verb == "to_state":
+        # Snapshot for the durability layer: the full ``to_state`` dict
+        # rides the pipe (pickle) — snapshots are rare, size over speed.
+        return ("ok", server.index.version, server.index.to_state())
     if verb == "warm":
         server.warm()
         return ("ok", server.index.version, None)

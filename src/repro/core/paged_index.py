@@ -68,6 +68,14 @@ class PagedIndexBase:
     #: (paper Section 4.1.2). Subclasses may override before super().__init__.
     search_mode: str = "binary"
 
+    #: Optional durability sink (a ``repro.wal`` per-shard facade, set by
+    #: an engine's ``attach_wal``). When non-None every mutation verb logs
+    #: its resolved request through it *before* applying, so replaying the
+    #: committed WAL reproduces the same final state — including
+    #: deterministic partial failures such as a strict delete raising
+    #: midway.
+    wal_sink: Any = None
+
     def __init__(
         self,
         keys=None,
@@ -615,6 +623,15 @@ class PagedIndexBase:
         self._check_writable()
         key = float(key)
         value = self._resolve_value(value)
+        sink = self.wal_sink
+        if sink is not None:
+            logged = np.empty(1, dtype=self._values_dtype)
+            logged[0] = value
+            sink.log_insert(np.asarray([key], dtype=np.float64), logged)
+        self._insert_resolved(key, value)
+
+    def _insert_resolved(self, key: float, value: Any) -> None:
+        """Apply one resolved insert (no validation, no WAL emission)."""
         self._version += 1
         if self.counter is not None:
             self.counter.op()
@@ -694,6 +711,9 @@ class PagedIndexBase:
         if n == 0:
             return
         values = self._resolve_batch_values(keys, values)
+        sink = self.wal_sink
+        if sink is not None:
+            sink.log_insert(keys, values)
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         values = values[order]
@@ -701,8 +721,10 @@ class PagedIndexBase:
         i = 0
         while i < n:
             if len(self._tree) == 0:
-                # Seed the first page exactly like a scalar insert would.
-                self.insert(float(keys[i]), values[i])
+                # Seed the first page exactly like a scalar insert would
+                # (the resolved body: the batch was already validated,
+                # resolved and WAL-logged above).
+                self._insert_resolved(float(keys[i]), values[i])
                 i += 1
                 continue
             tree_key, page = self._page_for(float(keys[i]))
@@ -831,9 +853,13 @@ class PagedIndexBase:
         path charge identical page-level counters.
         """
         self._check_writable()
+        key = float(key)
+        sink = self.wal_sink
+        if sink is not None:
+            sink.log_delete(np.asarray([key], dtype=np.float64), "raise")
         value = self._delete_one(key)
         if value is self._DELETE_MISS:
-            raise KeyNotFoundError(float(key))
+            raise KeyNotFoundError(key)
         return value
 
     def delete_batch(
@@ -886,6 +912,9 @@ class PagedIndexBase:
         n = keys.size
         if n == 0:
             return np.empty(0, dtype=self._values_dtype)
+        sink = self.wal_sink
+        if sink is not None:
+            sink.log_delete(keys, missing)
         order = np.argsort(keys, kind="stable")
         skeys = keys[order]
         values: List[Any] = [default] * n
@@ -969,6 +998,9 @@ class PagedIndexBase:
         """
         self._check_writable()
         key = float(key)
+        sink = self.wal_sink
+        if sink is not None:
+            sink.log_delete_value(key, value)
         if self.counter is not None:
             self.counter.op()
         for tree_key, page in self._pages_possibly_containing(key):

@@ -18,6 +18,7 @@ have no portable flat representation.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Type
 
 import numpy as np
@@ -29,6 +30,8 @@ from repro.core.paged_index import PagedIndexBase
 __all__ = [
     "save_index",
     "load_index",
+    "save_state",
+    "load_state",
     "index_from_state",
     "register_index_class",
 ]
@@ -125,18 +128,43 @@ def save_index(index: PagedIndexBase, path: str) -> None:
         raise InvalidParameterError(
             f"save_index supports paged indexes, got {type(index).__name__}"
         )
-    state = index.to_state()
+    save_state(index.to_state(), path)
+
+
+def save_state(state: Dict[str, Any], path: str, *, sync: bool = False) -> None:
+    """Write a ``to_state`` snapshot dict to ``path`` as ``.npz``.
+
+    The disk layout is exactly :func:`save_index`'s (that function is now
+    a ``to_state`` + ``save_state`` composition); the WAL snapshot path
+    uses this entry point directly since cluster workers ship state dicts,
+    not live index objects.
+
+    Parameters
+    ----------
+    state:
+        A ``PagedIndexBase.to_state`` snapshot dict.
+    path:
+        Destination file. Unlike ``np.savez``, no ``.npz`` suffix is
+        appended — the name is used verbatim.
+    sync:
+        When True, ``fsync`` the file before returning (durability
+        snapshots need the bytes on disk before the manifest flips).
+    """
     meta = {
         "format_version": _FORMAT_VERSION,
         "index_cls": state["index_cls"],
         "params": state["params"],
     }
     meta.update({k: state[k] for k in _META_FIELDS})
-    np.savez_compressed(
-        path,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        **{k: state[k] for k in _ARRAY_FIELDS},
-    )
+    with open(path, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **{k: state[k] for k in _ARRAY_FIELDS},
+        )
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
 
 
 def load_index(path: str) -> PagedIndexBase:
@@ -144,6 +172,17 @@ def load_index(path: str) -> PagedIndexBase:
 
     Loads both format version 2 (generic snapshot) and the legacy
     FITingTree-only version 1 layout.
+    """
+    return index_from_state(load_state(path))
+
+
+def load_state(path: str) -> Dict[str, Any]:
+    """Read a snapshot file back into a ``from_state``-ready dict.
+
+    Returns
+    -------
+    dict
+        The snapshot state dict, loadable via :func:`index_from_state`.
     """
     with np.load(path) as archive:
         meta: Dict[str, Any] = json.loads(bytes(archive["meta"]).decode())
@@ -170,4 +209,4 @@ def load_index(path: str) -> PagedIndexBase:
         state["version"] = meta["version"]
     for k in ("n", "auto_rowid", "next_rowid", "values_dtype"):
         state[k] = meta[k]
-    return index_from_state(state)
+    return state

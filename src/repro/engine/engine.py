@@ -129,6 +129,15 @@ class ShardedEngine:
             index_factory(keys[a:b], values[a:b])
             for a, b in shard_bounds(keys, self.cuts)
         ]
+        self._init_runtime(telemetry)
+
+    def _init_runtime(self, telemetry: Any) -> None:
+        """Initialize the non-data runtime state (caches, telemetry, WAL).
+
+        Shared by ``__init__`` and :meth:`from_states`, which rebuilds the
+        data fields (``cuts``/shards/rowid bookkeeping) from snapshots
+        instead of a build pass.
+        """
         self._counter: Any = None
         self._view_stats: Dict[str, int] = {
             "view_hits": 0,
@@ -145,9 +154,95 @@ class ShardedEngine:
         self._stale_reads = 0
         self.telemetry = telemetry
         self._telemetry = telemetry
+        self._wal: Any = None
         self._obs_ops: Optional[Dict[str, Tuple[Any, Any]]] = None
         if telemetry is not None:
             self._register_telemetry(telemetry)
+
+    @classmethod
+    def from_states(
+        cls, states: Dict[str, Any], *, telemetry: Any = None
+    ) -> "ShardedEngine":
+        """Rebuild an engine from an ``engine_to_states``-shaped snapshot.
+
+        Parameters
+        ----------
+        states:
+            Dict with ``cuts``, ``auto_rowid``, ``next_rowid`` and one
+            ``PagedIndexBase.to_state`` dict per shard — the shape
+            :meth:`to_states` produces and WAL recovery hands back.
+        telemetry:
+            Optional :class:`repro.obs.Telemetry` to register against.
+
+        Returns
+        -------
+        ShardedEngine
+            An engine bit-identical to the snapshotted one.
+        """
+        from repro.core.serialize import index_from_state
+
+        eng = cls.__new__(cls)
+        eng._auto_rowid = bool(states["auto_rowid"])
+        eng._next_rowid = int(states["next_rowid"])
+        eng.cuts = np.asarray(states["cuts"], dtype=np.float64)
+        eng._shards = [index_from_state(s) for s in states["shards"]]
+        eng._init_runtime(telemetry)
+        return eng
+
+    def to_states(self) -> Dict[str, Any]:
+        """Snapshot the whole engine as an ``engine_to_states`` dict.
+
+        Returns
+        -------
+        dict
+            ``cuts`` (copied), ``auto_rowid``, ``next_rowid`` and the
+            per-shard ``to_state`` snapshots — the exact input
+            :meth:`from_states` accepts and the WAL store persists.
+        """
+        return {
+            "cuts": self.cuts.copy(),
+            "auto_rowid": self._auto_rowid,
+            "next_rowid": self._next_rowid,
+            "shards": [s.to_state() for s in self._shards],
+        }
+
+    def attach_wal(self, store: Any) -> None:
+        """Attach a :class:`repro.wal.WalStore`: log every mutation.
+
+        Sets each shard's ``wal_sink`` so mutations are logged before
+        they apply, binds :meth:`to_states` as the store's snapshot
+        provider, and makes every batch verb group-commit on completion.
+        Rejects object-dtype payload shards (no portable encoding).
+        """
+        for shard in self._shards:
+            if shard._values_dtype == np.dtype(object):
+                raise InvalidParameterError(
+                    "durability requires numeric value dtypes; this "
+                    "engine holds object payloads"
+                )
+        store.set_retain_tail(False)
+        store.bind(self.to_states)
+        for sid, shard in enumerate(self._shards):
+            shard.wal_sink = store.sink(sid)
+        self._wal = store
+
+    def close(self) -> None:
+        """Release durability resources; a no-op without an attached WAL.
+
+        Uncommitted WAL records are discarded — but engine verbs commit
+        before returning, so none exist outside a mid-crash window.
+        """
+        if self._wal is not None:
+            for shard in self._shards:
+                shard.wal_sink = None
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def _register_telemetry(self, telemetry: Any) -> None:
         """Wire this engine's counters and pull-based sources into the
@@ -289,6 +384,7 @@ class ShardedEngine:
             "shards": per_shard,
             "workers": [],
             "ipc": {"batches": 0, "pickle_fallbacks": 0, "lane_growths": 0},
+            "wal": None if self._wal is None else self._wal.stats(),
         }
 
     def validate(self) -> None:
@@ -794,7 +890,15 @@ class ShardedEngine:
         if value is None and self._auto_rowid:
             value = self._next_rowid
             self._next_rowid += 1
-        self.shard_for(key).insert(key, value)
+        wal = self._wal
+        if wal is None:
+            self.shard_for(key).insert(key, value)
+            return
+        try:
+            self.shard_for(key).insert(key, value)
+        finally:
+            wal.commit(self._next_rowid)
+        wal.maybe_snapshot()
 
     def insert_batch(self, keys, values=None) -> None:
         """Bulk batch insert: route once, bulk-merge per shard and page.
@@ -819,6 +923,22 @@ class ShardedEngine:
             Aligned payloads; ``None`` assigns engine-wide auto row ids in
             request order (only on engines built without explicit values).
         """
+        wal = self._wal
+        if wal is None:
+            self._insert_batch_impl(keys, values)
+            return
+        try:
+            self._insert_batch_impl(keys, values)
+        finally:
+            # Group commit: the whole batch (every per-shard record the
+            # sinks emitted) becomes durable with one write + fsync,
+            # even when a shard's apply raised after its emission —
+            # replay reproduces that same deterministic partial state.
+            wal.commit(self._next_rowid)
+        wal.maybe_snapshot()
+
+    def _insert_batch_impl(self, keys, values=None) -> None:
+        """The batch-insert body (no durability commit around it)."""
         keys = np.ascontiguousarray(keys, dtype=np.float64)
         if keys.size == 0:
             return
@@ -840,7 +960,15 @@ class ShardedEngine:
         Routes to the owning shard's ``delete``; raises
         :class:`~repro.core.errors.KeyNotFoundError` when absent.
         """
-        return self.shard_for(key).delete(key)
+        wal = self._wal
+        if wal is None:
+            return self.shard_for(key).delete(key)
+        try:
+            value = self.shard_for(key).delete(key)
+        finally:
+            wal.commit(self._next_rowid)
+        wal.maybe_snapshot()
+        return value
 
     def delete_batch(
         self, keys, *, missing: str = "raise", default: Any = None
@@ -878,6 +1006,20 @@ class ShardedEngine:
             dtype when every request hit, else an object array with
             ``default`` in the miss slots.
         """
+        wal = self._wal
+        if wal is None:
+            return self._delete_batch_impl(keys, missing=missing, default=default)
+        try:
+            out = self._delete_batch_impl(keys, missing=missing, default=default)
+        finally:
+            wal.commit(self._next_rowid)
+        wal.maybe_snapshot()
+        return out
+
+    def _delete_batch_impl(
+        self, keys, *, missing: str = "raise", default: Any = None
+    ) -> np.ndarray:
+        """The batch-delete body (no durability commit around it)."""
         keys = np.ascontiguousarray(keys, dtype=np.float64)
         if keys.size == 0:
             return np.empty(0, dtype=object)

@@ -1,0 +1,65 @@
+"""Atomic manifest tying a snapshot generation to its WAL file.
+
+The manifest is the single source of truth for recovery: it names the
+current generation's per-shard snapshot files and the WAL file whose
+committed tail must be replayed on top of them. It is replaced atomically
+(temp file + ``fsync`` + ``os.replace``) and only *after* the new
+generation's snapshot and WAL files are safely on disk — so a crash at
+any point during a snapshot rotation leaves either the old manifest
+(old snapshot + old WAL, both intact) or the new one (likewise intact),
+never a mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Manifest file name inside a durability directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest schema version.
+MANIFEST_VERSION = 1
+
+
+def manifest_path(root: str) -> str:
+    """Path of the manifest file under durability directory ``root``."""
+    return os.path.join(root, MANIFEST_NAME)
+
+
+def load_manifest(root: str) -> Optional[Dict[str, Any]]:
+    """Read the manifest under ``root``, or ``None`` when absent.
+
+    Returns
+    -------
+    dict or None
+        The parsed manifest dict, or ``None`` if no manifest exists
+        (a fresh, never-initialized durability directory).
+    """
+    path = manifest_path(root)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r") as fh:
+        return json.load(fh)
+
+
+def write_manifest(root: str, manifest: Dict[str, Any]) -> None:
+    """Atomically replace the manifest under ``root``.
+
+    Writes to a temp file in the same directory, ``fsync``\\ s it,
+    ``os.replace``\\ s it over the manifest name, then ``fsync``\\ s the
+    directory so the rename itself is durable.
+    """
+    path = manifest_path(root)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(root, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

@@ -35,6 +35,7 @@ ENGINE_KEYS = {
     "shards",
     "workers",
     "ipc",
+    "wal",
 }
 
 ENGINE_BACKENDS = {

@@ -1,0 +1,181 @@
+"""WalStore lifecycle: initialize/recover, rotation, tail handling."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.engine import ShardedEngine
+from repro.wal import WalStore, load_manifest, replay_ops
+
+KEYS = np.sort(np.random.default_rng(0).uniform(0, 1e6, 4_000))
+
+
+def _engine():
+    return ShardedEngine(KEYS, n_shards=2, error=64.0)
+
+
+def _fresh(tmp_path, engine, durability="wal", **kw):
+    store = WalStore(str(tmp_path), durability=durability, **kw)
+    store.initialize(engine.to_states())
+    return store
+
+
+def test_initialize_creates_generation_one(tmp_path):
+    engine = _engine()
+    store = WalStore(str(tmp_path))
+    assert not store.exists
+    store.initialize(engine.to_states())
+    assert store.exists
+    assert store.generation == 1
+    manifest = load_manifest(str(tmp_path))
+    assert manifest["generation"] == 1
+    assert len(manifest["snapshots"]) == 2
+    for name in manifest["snapshots"] + [manifest["wal"]]:
+        assert os.path.exists(os.path.join(str(tmp_path), name))
+    store.close()
+
+
+def test_double_initialize_is_rejected(tmp_path):
+    engine = _engine()
+    store = _fresh(tmp_path, engine)
+    store.close()
+    with pytest.raises(InvalidParameterError):
+        WalStore(str(tmp_path)).initialize(engine.to_states())
+
+
+def test_invalid_durability_mode_is_rejected(tmp_path):
+    for mode in ("off", "nope"):
+        with pytest.raises(InvalidParameterError):
+            WalStore(str(tmp_path), durability=mode)
+
+
+def test_log_commit_recover_round_trip(tmp_path):
+    engine = _engine()
+    store = _fresh(tmp_path, engine)
+    store.log_insert(0, np.array([1.5]), np.array([7], dtype=np.int64))
+    store.log_delete(1, np.array([float(KEYS[-1])]), "raise")
+    assert store.commit(next_rowid=4001)
+    store.close()
+
+    reopened = WalStore(str(tmp_path))
+    rec = reopened.recover()
+    assert rec.next_rowid == 4001
+    assert [r.op for r in rec.ops] == [1, 2]
+    twin = ShardedEngine.from_states(rec.states)
+    replay_ops(twin, rec.ops)
+    assert twin.get(1.5) == 7
+    assert float(KEYS[-1]) not in twin
+    reopened.close()
+
+
+def test_commit_without_pending_is_a_noop(tmp_path):
+    store = _fresh(tmp_path, _engine())
+    bytes_before = store.stats()["wal_bytes"]
+    assert not store.commit(next_rowid=0)
+    assert store.stats()["wal_bytes"] == bytes_before
+    store.close()
+
+
+def test_recovery_truncates_torn_tail(tmp_path):
+    engine = _engine()
+    store = _fresh(tmp_path, engine)
+    store.log_insert(0, np.array([1.5]), np.array([7], dtype=np.int64))
+    store.commit(next_rowid=4001)
+    wal_path = os.path.join(str(tmp_path), load_manifest(str(tmp_path))["wal"])
+    store.close()
+
+    committed = os.path.getsize(wal_path)
+    with open(wal_path, "ab") as fh:
+        fh.write(b"\x13\x37" * 40)  # a torn, garbage tail
+
+    reopened = WalStore(str(tmp_path))
+    rec = reopened.recover()
+    assert len(rec.ops) == 1
+    assert os.path.getsize(wal_path) == committed  # tail cut in place
+    # New appends must extend the committed prefix, not the garbage.
+    reopened.log_insert(0, np.array([2.5]), np.array([8], dtype=np.int64))
+    reopened.commit(next_rowid=4002)
+    reopened.close()
+    rec2 = WalStore(str(tmp_path)).recover()
+    assert [float(r.keys[0]) for r in rec2.ops] == [1.5, 2.5]
+    assert rec2.next_rowid == 4002
+
+
+def test_uncommitted_records_do_not_replay(tmp_path):
+    engine = _engine()
+    store = _fresh(tmp_path, engine)
+    store.log_insert(0, np.array([1.5]), np.array([7], dtype=np.int64))
+    store.commit(next_rowid=4001)
+    # Logged but never committed: must not survive recovery.
+    store.log_insert(0, np.array([2.5]), np.array([8], dtype=np.int64))
+    store._writer._fh.flush()
+    store.close()
+    rec = WalStore(str(tmp_path)).recover()
+    assert [float(r.keys[0]) for r in rec.ops] == [1.5]
+    assert rec.next_rowid == 4001
+
+
+def test_snapshot_rotates_generation_and_prunes(tmp_path):
+    engine = _engine()
+    store = _fresh(tmp_path, engine)
+    engine.attach_wal(store)
+    engine.insert_batch(np.array([1.5, 2.5]), None)
+    old = set(os.listdir(str(tmp_path)))
+    store.snapshot(engine.to_states())
+    assert store.generation == 2
+    manifest = load_manifest(str(tmp_path))
+    assert manifest["generation"] == 2
+    new = set(os.listdir(str(tmp_path)))
+    assert not (old & new) - {"MANIFEST.json"}  # old generation pruned
+    engine.close()
+
+    # Recovery from the new generation alone reproduces the dataset.
+    rec = WalStore(str(tmp_path)).recover()
+    assert rec.ops == []
+    twin = ShardedEngine.from_states(rec.states)
+    assert twin.get(1.5) is not None
+    assert len(twin) == len(KEYS) + 2
+
+
+def test_snapshot_with_pending_records_is_rejected(tmp_path):
+    engine = _engine()
+    store = _fresh(tmp_path, engine)
+    store.log_insert(0, np.array([1.5]), np.array([7], dtype=np.int64))
+    with pytest.raises(InvalidParameterError):
+        store.snapshot(engine.to_states())
+    store.close()
+
+
+def test_maybe_snapshot_honors_interval_and_mode(tmp_path):
+    engine = _engine()
+    # Plain "wal" mode never auto-snapshots.
+    store = _fresh(tmp_path, engine, durability="wal",
+                   snapshot_interval_bytes=1)
+    engine.attach_wal(store)
+    engine.insert_batch(np.array([1.5]), None)
+    assert store.generation == 1
+    assert store.stats()["snapshots"] == 0
+    engine.close()
+
+    other = tmp_path / "snap"
+    engine2 = _engine()
+    store2 = WalStore(str(other), durability="wal+snapshot",
+                      snapshot_interval_bytes=1)
+    store2.initialize(engine2.to_states())
+    engine2.attach_wal(store2)
+    engine2.insert_batch(np.array([1.5]), None)  # crosses the 1-byte interval
+    assert store2.generation == 2
+    assert store2.stats()["snapshots"] == 1
+    engine2.close()
+
+
+def test_stats_schema(tmp_path):
+    store = _fresh(tmp_path, _engine())
+    stats = store.stats()
+    assert {
+        "durability", "generation", "records", "commits", "fsyncs",
+        "wal_bytes", "snapshots", "tail_ops",
+    } <= set(stats)
+    store.close()

@@ -40,6 +40,7 @@ TARGETS = (
     "src/repro/engine",
     "src/repro/obs",
     "src/repro/serve",
+    "src/repro/wal",
     "src/repro/core/paged_index.py",
 )
 

@@ -102,11 +102,17 @@ class EngineConfig:
         Serve-layer knobs applied by :func:`open_server`; see
         :class:`~repro.serve.Server`.
     telemetry:
-        ``"off"`` (default), ``"metrics"``, ``"full"``, or a
-        :class:`repro.obs.Telemetry` instance to share a registry across
-        engines. Resolved once per :func:`open_engine` call; the server
-        built by :func:`open_server` adopts the engine's bundle, so both
-        layers report into the same registry.
+        ``"off"`` (default), ``"metrics"``, ``"workload"``, ``"full"``,
+        ``"full+workload"``, or a :class:`repro.obs.Telemetry` instance
+        to share a registry across engines. Resolved once per
+        :func:`open_engine` call; the server built by :func:`open_server`
+        adopts the engine's bundle, so both layers report into the same
+        registry.
+    admin_port:
+        When set (requires telemetry), the server built by
+        :func:`open_server` starts a live admin HTTP endpoint on this
+        port when entered (``0`` = pick a free port); see
+        :class:`repro.obs.http.AdminServer`.
     """
 
     executor: str = "sharded"
@@ -136,6 +142,7 @@ class EngineConfig:
     latency_window: int = 100_000
     # -- observability --
     telemetry: Any = "off"
+    admin_port: Optional[int] = None
 
     def validate(self) -> None:
         """Reject unknown executor/index/telemetry kinds with a typed error."""
@@ -461,4 +468,5 @@ def open_server(keys=None, values=None, *, config: Optional[EngineConfig] = None
         executor=config.serve_executor,
         shard_concurrency=config.shard_concurrency,
         latency_window=config.latency_window,
+        admin_port=config.admin_port,
     )

@@ -263,6 +263,7 @@ class ClusterEngine:
         self.telemetry = telemetry
         self._telemetry = telemetry
         self._obs_ops: Optional[Dict[str, Tuple[Any, Any]]] = None
+        self._workload: Any = None
         if telemetry is not None:
             self._register_telemetry(telemetry)
         if isinstance(mp_context, str) or mp_context is None:
@@ -275,6 +276,13 @@ class ClusterEngine:
         self._ctx = ctx
         self._lane_capacity = int(lane_capacity)
         self.cuts: np.ndarray = states["cuts"]
+        if telemetry is not None:
+            # The parent-side profiler is the merge target for the
+            # per-shard sketch deltas workers ship back in reply frames;
+            # registration waits until here because it needs the cuts.
+            ensure = getattr(telemetry, "ensure_workload", None)
+            if ensure is not None:
+                self._workload = ensure(self.cuts)
         self._auto_rowid: bool = states["auto_rowid"]
         self._next_rowid: int = states["next_rowid"]
         shard_states = states["shards"]
@@ -477,10 +485,12 @@ class ClusterEngine:
     def _replay_record(self, sid: int, rec: Any) -> None:
         """Re-apply one committed tail record to a restored worker."""
         if rec.op == OP_INSERT:
-            self._send_insert(sid, rec.keys, rec.values)
+            # Replays must not profile: the original dispatch already
+            # recorded this batch, and a crash-restore would double it.
+            self._send_insert(sid, rec.keys, rec.values, profile=False)
             self._recv(sid)
         elif rec.op == OP_DELETE:
-            self._send_delete(sid, rec.keys, rec.missing)
+            self._send_delete(sid, rec.keys, rec.missing, profile=False)
             try:
                 self._recv(sid)
             except KeyNotFoundError:
@@ -544,6 +554,20 @@ class ClusterEngine:
         c_ops, c_keys = self._obs_ops[op]
         c_ops.inc()
         c_keys.inc(n_keys)
+
+    def _merge_deltas(self, replies: Dict[int, Tuple]) -> None:
+        """Fold the workers' workload-sketch deltas out of a round's replies.
+
+        Profiled replies are 5-tuples whose last slot is either ``None``
+        or a compact delta dict (see
+        :meth:`repro.obs.ShardWorkloadProfiler.record`); unprofiled and
+        trace-only replies are shorter and skipped untouched.
+        """
+        if self._workload is None:
+            return
+        for sid, reply in replies.items():
+            if len(reply) > 4 and reply[4] is not None:
+                self._workload.merge_delta(sid, reply[4])
 
     @property
     def closed(self) -> bool:
@@ -792,6 +816,9 @@ class ClusterEngine:
             ``view_*`` counters report zero.
         """
         self._check_open()
+        from repro.obs import stats_sections
+
+        workload, slow_ops = stats_sections(self._telemetry)
         per_shard = self._broadcast(("stats",))
         self._shard_ns = [int(s["n"]) for s in per_shard]
         self._n = sum(self._shard_ns)
@@ -823,6 +850,8 @@ class ClusterEngine:
                 "teardown_errors": teardown_errors(),
             },
             "wal": None if self._wal is None else self._wal.stats(),
+            "workload": workload,
+            "slow_ops": slow_ops,
         }
 
     def warm(self) -> None:
@@ -947,6 +976,7 @@ class ClusterEngine:
                     for i, idx in groups
                 }
             )
+            self._merge_deltas(replies)
             if trace is not None:
                 tracer = trace[0]
                 for i, _idx in groups:
@@ -1014,6 +1044,12 @@ class ClusterEngine:
                 reply = self._recv(sid)
             if ctx is not None and len(reply) > 3 and reply[3]:
                 tel.tracer.ingest(reply[3])
+            if (
+                self._workload is not None
+                and len(reply) > 4
+                and reply[4] is not None
+            ):
+                self._workload.merge_delta(sid, reply[4])
             values, found = self._decode_get(sid, reply[2])
             return self._scatter(
                 q.size, [(np.arange(q.size), (values, found))], default
@@ -1028,7 +1064,11 @@ class ClusterEngine:
         descr = worker.req.write([q])[0]
         worker.ipc["batches"] += 1
         frame: Tuple = ("get_batch", (worker.req.name, worker.resp.name), descr)
-        if trace_ctx is not None:
+        if self._workload is not None:
+            # Profiled frames always carry the trace slot (None when
+            # untraced) so the workload flag sits at a fixed index.
+            frame = frame + (trace_ctx, True)
+        elif trace_ctx is not None:
             frame = frame + (trace_ctx,)
         self._send(sid, frame)
 
@@ -1160,6 +1200,7 @@ class ClusterEngine:
                     for sid, idx in jobs
                 }
             )
+            self._merge_deltas(raw)
             replies = [
                 (sid, idx, self._decode_ranges(sid, raw[sid][2]))
                 for sid, idx in jobs
@@ -1203,16 +1244,16 @@ class ClusterEngine:
         self._ensure_lanes(sid, los.nbytes + his.nbytes + 64, 0)
         descr = worker.req.write([los, his])
         worker.ipc["batches"] += 1
-        self._send(
-            sid,
-            (
-                "range_batch",
-                (worker.req.name, worker.resp.name),
-                descr,
-                include_lo,
-                include_hi,
-            ),
+        frame: Tuple = (
+            "range_batch",
+            (worker.req.name, worker.resp.name),
+            descr,
+            include_lo,
+            include_hi,
         )
+        if self._workload is not None:
+            frame = frame + (True,)
+        self._send(sid, frame)
 
     def _decode_ranges(
         self, sid: int, payload: Tuple
@@ -1341,7 +1382,7 @@ class ClusterEngine:
             # on failure, so the pipes never fall a round behind.
             if wal is None:
                 try:
-                    self._round(sorted(thunks.items()))
+                    self._merge_deltas(self._round(sorted(thunks.items())))
                 except BaseException:
                     # Some chunks may have applied before the failure;
                     # resync the cached element count from the live
@@ -1354,7 +1395,9 @@ class ClusterEngine:
                 self._n = sum(self._shard_ns)
             else:
                 errors: Dict[int, BaseException] = {}
-                self._round(sorted(thunks.items()), errors)
+                self._merge_deltas(
+                    self._round(sorted(thunks.items()), errors)
+                )
                 if errors:
                     app_exc: Optional[BaseException] = None
                     for sid in sorted(errors):
@@ -1528,6 +1571,7 @@ class ClusterEngine:
                         "deletions themselves are durably applied — "
                         "do not retry",
                     )
+            self._merge_deltas(replies)
             parts = [
                 (order[a:b], self._decode_get(sid, replies[sid][2]))
                 for sid, a, b in jobs
@@ -1554,30 +1598,36 @@ class ClusterEngine:
         self._maybe_snapshot()
         return out
 
-    def _send_delete(self, sid: int, keys: np.ndarray, missing: str) -> None:
+    def _send_delete(
+        self, sid: int, keys: np.ndarray, missing: str,
+        profile: bool = True,
+    ) -> None:
         worker = self._workers[sid]
         resp_bytes = keys.size * (self._values_dtype.itemsize + 1) + 64
         self._ensure_lanes(sid, keys.nbytes, resp_bytes)
         descr = worker.req.write([keys])[0]
         worker.ipc["batches"] += 1
-        self._send(
-            sid,
-            (
-                "delete_batch",
-                (worker.req.name, worker.resp.name),
-                descr,
-                missing,
-            ),
+        frame: Tuple = (
+            "delete_batch",
+            (worker.req.name, worker.resp.name),
+            descr,
+            missing,
         )
+        if profile and self._workload is not None:
+            frame = frame + (True,)
+        self._send(sid, frame)
 
-    def _send_insert(self, sid: int, keys: np.ndarray, values: np.ndarray) -> None:
+    def _send_insert(
+        self, sid: int, keys: np.ndarray, values: np.ndarray,
+        profile: bool = True,
+    ) -> None:
         worker = self._workers[sid]
         worker.ipc["batches"] += 1
         if values.dtype == np.dtype(object):
             worker.ipc["pickle_fallbacks"] += 1
             self._ensure_lanes(sid, keys.nbytes + 64, 0)
             keys_descr = worker.req.write([keys])[0]
-            frame = (
+            frame: Tuple = (
                 "insert_batch",
                 (worker.req.name, worker.resp.name),
                 keys_descr,
@@ -1597,6 +1647,8 @@ class ClusterEngine:
                 values_descr,
                 None,
             )
+        if profile and self._workload is not None:
+            frame = frame + (True,)
         self._send(sid, frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,6 +26,16 @@ Protocol (parent → worker), one reply per frame:
 ``shutdown``    clean exit (replies ``("bye",)`` first)
 ==============  ====================================================
 
+Workload profiling extends every batch verb the same way tracing
+extends ``get_batch``: the parent appends a truthy flag as one extra
+frame element (after the trace slot for ``get_batch``, after the verb's
+base elements otherwise), the worker folds the batch through its
+:class:`~repro.obs.workload.ShardWorkloadProfiler`, and the reply
+widens to ``("ok", version, payload, spans_or_None, delta_or_None)`` —
+the compact sketch delta rides the pipe exactly like span dicts do.
+Unflagged frames and their replies keep their original shapes, so the
+telemetry-off wire format stays byte-identical.
+
 Every reply carries the shard's monotonic ``version`` stamp, so the
 parent-side engine can maintain the engine-wide version barrier the serve
 layer's read-your-writes logic depends on. Per-op exceptions are caught
@@ -47,6 +57,7 @@ from repro.cluster.snapshot import index_from_state
 from repro.core.errors import InvalidParameterError
 from repro.core.page import exact_typed_array
 from repro.obs.trace import span_record
+from repro.obs.workload import ShardWorkloadProfiler
 
 __all__ = ["shard_worker_main"]
 
@@ -70,6 +81,19 @@ class _ShardServer:
         self.hi = hi
         self.shard_id = shard_id  # stamped into traced-reply spans
         self._lanes: Dict[str, Tuple[str, ShmLane]] = {}
+        self._workload: Optional[ShardWorkloadProfiler] = None
+
+    def workload_delta(self, verb: str, keys: np.ndarray) -> Dict[str, Any]:
+        """Fold one batch through the shard profiler; return its delta.
+
+        The profiler is created on the first flagged frame (seeded with
+        the shard's owning cut range, so inner shards bin over their
+        exact span from the start) — workers whose parent never enables
+        workload profiling pay nothing.
+        """
+        if self._workload is None:
+            self._workload = ShardWorkloadProfiler(self.lo, self.hi)
+        return self._workload.record(verb, keys)
 
     # -- lanes ---------------------------------------------------------
 
@@ -281,12 +305,15 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
         _, (req_name, resp_name), q_descr = frame[:3]
         # A traced frame carries (trace_id, parent_span_id) as a fourth
         # element; untraced frames keep the original 3-tuple shape so the
-        # telemetry-off wire format is byte-identical to before.
+        # telemetry-off wire format is byte-identical to before. A fifth
+        # element flags workload profiling (the trace slot is then
+        # explicitly None when untraced).
         trace_ctx = frame[3] if len(frame) > 3 else None
+        profile = len(frame) > 4 and frame[4]
         req = server.lane("req", req_name)
         resp = server.lane("resp", resp_name)
         (q,) = req.read([q_descr])
-        if trace_ctx is None:
+        if trace_ctx is None and not profile:
             result, found = server.get_batch(q)
             payload = server.encode_get_reply(resp, result, found)
             return ("ok", server.index.version, payload)
@@ -294,28 +321,40 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
         result, found = server.get_batch(q)
         compute_s = time.perf_counter() - t0
         payload = server.encode_get_reply(resp, result, found)
-        spans = [
-            span_record(
-                "worker.compute",
-                trace_ctx,
-                t0,
-                compute_s,
-                shard=server.shard_id,
-                pid=os.getpid(),
-                n=int(q.size),
-            )
-        ]
-        return ("ok", server.index.version, payload, spans)
+        delta = server.workload_delta("get", q) if profile else None
+        spans = None
+        if trace_ctx is not None:
+            spans = [
+                span_record(
+                    "worker.compute",
+                    trace_ctx,
+                    t0,
+                    compute_s,
+                    shard=server.shard_id,
+                    pid=os.getpid(),
+                    n=int(q.size),
+                )
+            ]
+        if delta is None:
+            return ("ok", server.index.version, payload, spans)
+        return ("ok", server.index.version, payload, spans, delta)
     if verb == "range_batch":
-        _, (req_name, resp_name), bounds_descr, include_lo, include_hi = frame
+        _, (req_name, resp_name), bounds_descr, include_lo, include_hi = (
+            frame[:5]
+        )
+        profile = len(frame) > 5 and frame[5]
         req = server.lane("req", req_name)
         resp = server.lane("resp", resp_name)
         los, his = req.read(bounds_descr)
         results = server.range_batch(los, his, include_lo, include_hi)
         payload = server.encode_range_reply(resp, results)
-        return ("ok", server.index.version, payload)
+        if not profile:
+            return ("ok", server.index.version, payload)
+        delta = server.workload_delta("range", los)
+        return ("ok", server.index.version, payload, None, delta)
     if verb == "delete_batch":
-        _, (req_name, resp_name), keys_descr, miss_mode = frame
+        _, (req_name, resp_name), keys_descr, miss_mode = frame[:4]
+        profile = len(frame) > 4 and frame[4]
         req = server.lane("req", req_name)
         resp = server.lane("resp", resp_name)
         (keys_view,) = req.read([keys_descr])
@@ -330,9 +369,15 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
                 (v is not _MISS for v in result), dtype=bool, count=result.size
             )
         payload = server.encode_get_reply(resp, result, found)
-        return ("ok", server.index.version, payload)
+        if not profile:
+            return ("ok", server.index.version, payload)
+        delta = server.workload_delta("delete", keys)
+        return ("ok", server.index.version, payload, None, delta)
     if verb == "insert_batch":
-        _, (req_name, _resp_name), keys_descr, values_descr, pickled = frame
+        _, (req_name, _resp_name), keys_descr, values_descr, pickled = (
+            frame[:5]
+        )
+        profile = len(frame) > 5 and frame[5]
         req = server.lane("req", req_name)
         (keys_view,) = req.read([keys_descr])
         keys = np.array(keys_view)  # own the memory before mutating state
@@ -342,7 +387,10 @@ def _dispatch(server: _ShardServer, frame: Tuple) -> Tuple:
         else:
             values = pickled
         server.index.insert_batch(keys, values)
-        return ("ok", server.index.version, None)
+        if not profile:
+            return ("ok", server.index.version, None)
+        delta = server.workload_delta("insert", keys)
+        return ("ok", server.index.version, None, None, delta)
     if verb == "stats":
         return ("ok", server.index.version, server.index.stats())
     if verb == "to_state":

@@ -156,6 +156,7 @@ class ShardedEngine:
         self._telemetry = telemetry
         self._wal: Any = None
         self._obs_ops: Optional[Dict[str, Tuple[Any, Any]]] = None
+        self._workload: Any = None
         if telemetry is not None:
             self._register_telemetry(telemetry)
 
@@ -261,6 +262,11 @@ class ShardedEngine:
             for op in ("get_batch", "range_batch", "insert_batch",
                        "delete_batch")
         }
+        # Workload profiling (None unless the bundle enables it): the
+        # profiler bins over this engine's routing cuts, one vectorized
+        # sketch update per batch verb.
+        ensure = getattr(telemetry, "ensure_workload", None)
+        self._workload = ensure(self.cuts) if ensure is not None else None
         reg.register_callback(
             "repro_engine_view_events", lambda: dict(self._view_stats),
             "Flat-view cache events (hits/builds/patches/full rebuilds).",
@@ -364,9 +370,12 @@ class ShardedEngine:
         backends report an empty ``workers`` list and all-zero ``ipc``
         counters rather than omitting the keys.
         """
+        from repro.obs import stats_sections
+
         per_shard = [s.stats() for s in self._shards]
         views = dict(self._view_stats)
         touches = views["view_hits"] + views["view_builds"]
+        workload, slow_ops = stats_sections(self._telemetry)
         return {
             "backend": "sharded",
             "n": len(self),
@@ -385,6 +394,8 @@ class ShardedEngine:
             "workers": [],
             "ipc": {"batches": 0, "pickle_fallbacks": 0, "lane_growths": 0},
             "wal": None if self._wal is None else self._wal.stats(),
+            "workload": workload,
+            "slow_ops": slow_ops,
         }
 
     def validate(self) -> None:
@@ -763,6 +774,8 @@ class ShardedEngine:
         c_ops, c_keys = self._obs_ops["get_batch"]
         c_ops.inc()
         c_keys.inc(out.size)
+        if self._workload is not None:
+            self._workload.record("get", queries)
         return out
 
     def _get_batch_impl(self, queries, default: Any = None) -> np.ndarray:
@@ -865,6 +878,8 @@ class ShardedEngine:
             c_ops, c_keys = self._obs_ops["range_batch"]
             c_ops.inc()
             c_keys.inc(bounds.shape[0])
+            if self._workload is not None:
+                self._workload.record("range", bounds[:, 0])
         return out
 
     # ------------------------------------------------------------------
@@ -953,6 +968,8 @@ class ShardedEngine:
             c_ops, c_keys = self._obs_ops["insert_batch"]
             c_ops.inc()
             c_keys.inc(keys.size)
+            if self._workload is not None:
+                self._workload.record("insert", keys)
 
     def delete(self, key: float) -> Any:
         """Scalar delete: remove one occurrence of ``key``, return its value.
@@ -1041,6 +1058,8 @@ class ShardedEngine:
             c_ops, c_keys = self._obs_ops["delete_batch"]
             c_ops.inc()
             c_keys.inc(keys.size)
+            if self._workload is not None:
+                self._workload.record("delete", keys)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -46,8 +46,11 @@ def snapshot(
     -------
     dict
         ``{"metrics": {name: {"type", "help", "samples": [...]}, ...},
-        "trace": {"capacity", "dropped", "spans": [...]}}`` — the
-        ``trace`` key only present when a tracer is given. Histogram
+        "trace": {"capacity", "dropped", "dropped_spans",
+        "dropped_malformed", "spans": [...]}}`` — the
+        ``trace`` key only present when a tracer is given. ``dropped``
+        is the aggregate; ``dropped_spans`` counts silent ring evictions
+        and ``dropped_malformed`` bad cross-process records. Histogram
         samples carry their bucket bounds, cumulative counts, sum and
         count; scalar samples carry a single ``value``.
     """
@@ -74,6 +77,8 @@ def snapshot(
         out["trace"] = {
             "capacity": tracer.capacity,
             "dropped": tracer.dropped,
+            "dropped_spans": tracer.dropped_spans,
+            "dropped_malformed": tracer.dropped_malformed,
             "spans": [sp.to_dict() for sp in tracer.spans()],
         }
     return out

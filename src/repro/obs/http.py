@@ -1,0 +1,223 @@
+"""Live admin endpoint: ``/metrics``, ``/stats``, ``/slow``, ``/workload``.
+
+A deliberately tiny HTTP/1.1 server on stdlib ``asyncio`` alone — no web
+framework ships in this repo's toolchain, and an admin surface needs
+four read-only GET routes, not middleware. Each connection serves one
+request and closes (``Connection: close``), which keeps the parser to a
+request line plus discarded headers.
+
+Two entry points:
+
+* ``Server(..., admin_port=...)`` / ``open_server(admin_port=...)`` —
+  the serve layer starts an :class:`AdminServer` next to the request
+  loop, so ``/stats`` includes batcher/engine stats.
+* :func:`serve` — standalone: wrap a bare ``MetricsRegistry`` or a
+  ``Telemetry`` bundle and expose it, for processes that are not serving
+  requests (bench boxes, offline replayers).
+
+Routes: ``/metrics`` (Prometheus text), ``/stats`` (JSON snapshot),
+``/slow`` (slow-op records from the taillog), ``/workload`` (heatmap +
+hot keys + skew report). Unknown paths 404; non-GET methods 405.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["AdminServer", "serve"]
+
+_MAX_REQUEST_BYTES = 16384
+
+
+def _clean(obj: Any) -> Any:
+    """Make a payload strictly JSON-safe, recursively.
+
+    Numpy scalars subclass Python ``float``/``int``, so ``json.dumps``
+    would serialize them natively — including non-finite values as the
+    non-strict ``Infinity``/``NaN`` tokens that break downstream
+    parsers. Admin payloads are small, so a recursive walk that maps
+    non-finite floats to ``None`` and numpy containers to lists is
+    cheaper than fighting the encoder's hooks.
+    """
+    if isinstance(obj, float):
+        return float(obj) if math.isfinite(obj) else None
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): _clean(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_clean(v) for v in obj]
+    # Numpy leftovers: arrays expose ``tolist``, scalars ``item``.
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return _clean(tolist())
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return _clean(item())
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")
+
+
+def _dumps(payload: Any) -> bytes:
+    return json.dumps(_clean(payload)).encode()
+
+
+class AdminServer:
+    """Asyncio HTTP admin endpoint over a telemetry bundle.
+
+    Bound to ``host:port`` (``port=0`` picks a free port, readable from
+    :attr:`port` after :meth:`start`). When a serve-layer ``server`` is
+    attached, ``/stats`` returns its full ``stats()``; otherwise the
+    telemetry snapshot alone.
+    """
+
+    def __init__(
+        self,
+        telemetry: Any,
+        *,
+        server: Any = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.telemetry = telemetry
+        self.server = server
+        self.host = host
+        self._requested_port = int(port)
+        self._srv: Optional[asyncio.AbstractServer] = None
+        self.requests = 0
+
+    async def start(self) -> "AdminServer":
+        """Bind and start accepting connections; returns ``self``."""
+        self._srv = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after ``start()``)."""
+        if self._srv is None:
+            return self._requested_port
+        return self._srv.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting connections and wait for the socket to close."""
+        if self._srv is not None:
+            self._srv.close()
+            await self._srv.wait_closed()
+            self._srv = None
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        if len(raw) > _MAX_REQUEST_BYTES:
+            await self._respond(writer, 431, b"text/plain",
+                                b"request too large\n")
+            return
+        try:
+            method, path = raw.split(b"\r\n", 1)[0].decode().split(" ")[:2]
+        except ValueError:
+            await self._respond(writer, 400, b"text/plain", b"bad request\n")
+            return
+        self.requests += 1
+        if method != "GET":
+            await self._respond(writer, 405, b"text/plain",
+                                b"method not allowed\n")
+            return
+        status, ctype, body = self._route(path.split("?", 1)[0])
+        await self._respond(writer, status, ctype, body)
+
+    def _route(self, path: str) -> Tuple[int, bytes, bytes]:
+        tel = self.telemetry
+        if path == "/metrics":
+            return 200, b"text/plain; version=0.0.4", (
+                tel.prometheus().encode()
+            )
+        if path == "/stats":
+            if self.server is not None:
+                return 200, b"application/json", _dumps(self.server.stats())
+            return 200, b"application/json", _dumps(tel.snapshot())
+        if path == "/slow":
+            taillog = getattr(tel, "taillog", None)
+            payload: Dict[str, Any] = {
+                "summary": None if taillog is None else taillog.summary(),
+                "records": [] if taillog is None else taillog.records(),
+            }
+            return 200, b"application/json", _dumps(payload)
+        if path == "/workload":
+            profiler = getattr(tel, "workload", None)
+            if profiler is None:
+                payload = {"workload": None, "skew": None}
+            else:
+                payload = {
+                    "workload": profiler.snapshot(),
+                    "skew": profiler.skew_report(),
+                }
+            return 200, b"application/json", _dumps(payload)
+        return 404, b"text/plain", b"not found\n"
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, ctype: bytes, body: bytes
+    ) -> None:
+        reason = {200: b"OK", 400: b"Bad Request", 404: b"Not Found",
+                  405: b"Method Not Allowed",
+                  431: b"Request Header Fields Too Large"}[status]
+        writer.write(
+            b"HTTP/1.1 %d %s\r\n"
+            b"Content-Type: %s\r\n"
+            b"Content-Length: %d\r\n"
+            b"Connection: close\r\n\r\n"
+            % (status, reason, ctype, len(body))
+        )
+        writer.write(body)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+
+class _RegistryShim:
+    """Duck-typed telemetry facade over a bare ``MetricsRegistry``."""
+
+    def __init__(self, registry: Any) -> None:
+        from repro.obs.export import snapshot, to_prometheus
+
+        self.registry = registry
+        self._snapshot = snapshot
+        self._to_prometheus = to_prometheus
+        self.workload = None
+        self.taillog = None
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text format."""
+        return self._to_prometheus(self.registry)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able registry snapshot."""
+        return self._snapshot(self.registry)
+
+
+async def serve(
+    target: Any, *, host: str = "127.0.0.1", port: int = 0
+) -> AdminServer:
+    """Start a standalone admin endpoint over a registry or telemetry.
+
+    ``target`` may be a ``Telemetry`` bundle (full routes) or a bare
+    ``MetricsRegistry`` (``/metrics`` and ``/stats`` only; ``/slow`` and
+    ``/workload`` answer empty payloads). Returns the started
+    :class:`AdminServer`; the caller owns its :meth:`AdminServer.close`.
+    """
+    if not hasattr(target, "prometheus"):
+        target = _RegistryShim(target)
+    return await AdminServer(target, host=host, port=port).start()

@@ -1,0 +1,237 @@
+"""Tail-latency attribution: a slow-query log for index workloads.
+
+Aggregates (histograms, p99 gauges) say *that* the tail moved; this
+module says *why*. :class:`SlowOpLog` tracks an online p99 estimate over
+a sliding sample window and retains a full record — span tree plus
+per-stage breakdown — only for operations slower than that adaptive
+threshold, in a bounded ring with a drop counter. The serve layer feeds
+it in two steps:
+
+* :meth:`SlowOpLog.observe` on the hot path — one vectorized pass over a
+  flush cycle's per-op latencies; ops over threshold become *pending
+  marks* (cheap tuples, capped per cycle).
+* :meth:`SlowOpLog.finalize` on the cold path, after the flush span has
+  closed — materializes each mark into a record by pulling its span tree
+  out of the tracer ring and attributing the latency to stages: queue
+  wait (batcher pending time), route (cluster fan-out bookkeeping),
+  worker compute (possibly in a foreign process) and gather.
+
+The threshold starts at ``+inf`` (log nothing) until ``min_samples``
+latencies have been seen, so cold starts never spam the ring.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SlowOpLog"]
+
+#: Span names whose durations map onto the per-stage breakdown.
+_STAGE_COMPUTE = "worker.compute"
+_STAGE_GATHER = "cluster.gather"
+_STAGE_ROUTE_PARENTS = ("cluster.get_batch", "engine.get_batch")
+
+
+class SlowOpLog:
+    """Adaptive slow-op ring: online p99 threshold, bounded retention.
+
+    The p99 estimate is recomputed from a fixed-size sample window every
+    ``refresh`` observations (one ``np.percentile`` over ≤ ``window``
+    floats — cold-path cost, amortized across hundreds of batches). The
+    record ring holds ``capacity`` entries; overflow evicts the oldest
+    and increments ``dropped``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        window: int = 2048,
+        min_samples: int = 64,
+        refresh: int = 256,
+        percentile: float = 99.0,
+        max_marks_per_cycle: int = 4,
+    ) -> None:
+        self.capacity = int(capacity)
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=self.capacity)
+        self.dropped = 0
+        self.percentile = float(percentile)
+        self.min_samples = int(min_samples)
+        self.refresh = int(refresh)
+        self.max_marks_per_cycle = int(max_marks_per_cycle)
+        self._window = np.empty(int(window), dtype=np.float64)
+        self._wpos = 0
+        self._wfill = 0
+        self._since_refresh = 0
+        self.threshold_us = math.inf
+        self.p99_us: Optional[float] = None
+        self.observed = 0
+        self._pending: List[Dict[str, Any]] = []
+
+    # -- hot path ------------------------------------------------------
+
+    def observe(
+        self,
+        kind: str,
+        latencies_us: np.ndarray,
+        *,
+        trace_id: Optional[str] = None,
+        keys: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one cycle's per-op latencies in; mark ops over threshold.
+
+        ``keys`` (when given, aligned with ``latencies_us``) lets the
+        mark carry the slowest op's key and the cycle's key range.
+        Everything here is one vectorized pass plus at most
+        ``max_marks_per_cycle`` small dict builds.
+        """
+        arr = np.asarray(latencies_us, dtype=np.float64).ravel()
+        n = arr.size
+        if n == 0:
+            return
+        self.observed += n
+        self._fill_window(arr)
+        self._since_refresh += n
+        if self._since_refresh >= self.refresh or self.p99_us is None:
+            self._refresh_threshold()
+        if not math.isfinite(self.threshold_us):
+            return
+        over = np.flatnonzero(arr > self.threshold_us)
+        if over.size == 0:
+            return
+        if over.size > self.max_marks_per_cycle:
+            worst = np.argpartition(arr[over], -self.max_marks_per_cycle)
+            over = over[worst[-self.max_marks_per_cycle:]]
+        karr = None
+        if keys is not None:
+            try:
+                karr = np.asarray(keys, dtype=np.float64).ravel()
+            except (TypeError, ValueError):
+                karr = None  # unroutable keys: mark without a key range
+            else:
+                if karr.size != n:
+                    karr = None
+        for i in over:
+            self._pending.append(
+                {
+                    "kind": kind,
+                    "latency_us": float(arr[i]),
+                    "threshold_us": self.threshold_us,
+                    "trace_id": trace_id,
+                    "key": None if karr is None else float(karr[i]),
+                    "key_lo": None if karr is None else float(karr.min()),
+                    "key_hi": None if karr is None else float(karr.max()),
+                    "n_ops": int(n),
+                }
+            )
+
+    def _fill_window(self, arr: np.ndarray) -> None:
+        w = self._window
+        cap = w.size
+        if arr.size >= cap:
+            w[:] = arr[-cap:]
+            self._wpos = 0
+            self._wfill = cap
+            return
+        end = self._wpos + arr.size
+        if end <= cap:
+            w[self._wpos:end] = arr
+        else:
+            head = cap - self._wpos
+            w[self._wpos:] = arr[:head]
+            w[: end - cap] = arr[head:]
+        self._wpos = end % cap
+        self._wfill = min(cap, self._wfill + arr.size)
+
+    def _refresh_threshold(self) -> None:
+        self._since_refresh = 0
+        if self._wfill < self.min_samples:
+            return
+        self.p99_us = float(
+            np.percentile(self._window[: self._wfill], self.percentile)
+        )
+        self.threshold_us = self.p99_us
+
+    # -- cold path -----------------------------------------------------
+
+    def finalize(self, tracer: Optional[Any] = None) -> int:
+        """Materialize pending marks into records; returns how many.
+
+        Called after the cycle's spans have closed, so the tracer ring
+        holds the complete trace. Without a tracer the record keeps the
+        mark fields and an empty span list.
+        """
+        if not self._pending:
+            return 0
+        marks, self._pending = self._pending, []
+        made = 0
+        for mark in marks:
+            spans: List[Dict[str, Any]] = []
+            if tracer is not None and mark["trace_id"] is not None:
+                spans = [
+                    sp.to_dict()
+                    for sp in tracer.spans()
+                    if sp.trace_id == mark["trace_id"]
+                ]
+            record = dict(mark)
+            record["stages_us"] = self._stage_breakdown(spans)
+            record["spans"] = spans
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(record)
+            made += 1
+        return made
+
+    @staticmethod
+    def _stage_breakdown(spans: List[Dict[str, Any]]) -> Dict[str, float]:
+        """Split a trace into queue wait / route / compute / gather (µs)."""
+        queue = 0.0
+        compute = 0.0
+        gather = 0.0
+        route_total = 0.0
+        for sp in spans:
+            name = sp.get("name", "")
+            dur_us = float(sp.get("duration", 0.0)) * 1e6
+            if name == "serve.flush":
+                queue = float(sp.get("attrs", {}).get("queue_wait_us", 0.0))
+            elif name == _STAGE_COMPUTE:
+                compute += dur_us
+            elif name == _STAGE_GATHER:
+                gather += dur_us
+            elif name in _STAGE_ROUTE_PARENTS:
+                route_total += dur_us
+        return {
+            "queue_wait_us": queue,
+            "route_us": max(0.0, route_total - compute - gather),
+            "worker_compute_us": compute,
+            "gather_us": gather,
+        }
+
+    # -- reporting -----------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Retained slow-op records, oldest first (JSON-able dicts)."""
+        return list(self._ring)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact state for ``stats()``: counts, threshold, drops."""
+        return {
+            "count": len(self._ring),
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "observed": self.observed,
+            "threshold_us": (
+                None if not math.isfinite(self.threshold_us)
+                else self.threshold_us
+            ),
+            "p99_estimate_us": self.p99_us,
+        }
+
+    def clear(self) -> None:
+        """Drop retained records and pending marks (threshold unchanged)."""
+        self._ring.clear()
+        self._pending.clear()

@@ -144,7 +144,18 @@ class Tracer:
 
         self.capacity = int(capacity)
         self._spans: "deque[Span]" = deque(maxlen=self.capacity)
-        self.dropped = 0
+        self.dropped_spans = 0
+        self.dropped_malformed = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total spans lost, any cause (ring eviction + malformed ingest).
+
+        Kept as the back-compat aggregate; :attr:`dropped_spans` (ring
+        overflow — the silent one this counter used to hide) and
+        :attr:`dropped_malformed` (bad worker records) split it.
+        """
+        return self.dropped_spans + self.dropped_malformed
 
     # -- recording -----------------------------------------------------
 
@@ -204,11 +215,11 @@ class Tracer:
                     )
                 )
             except (KeyError, TypeError, ValueError):
-                self.dropped += 1
+                self.dropped_malformed += 1
 
     def _append(self, sp: Span) -> None:
         if len(self._spans) == self.capacity:
-            self.dropped += 1
+            self.dropped_spans += 1
         self._spans.append(sp)
 
     # -- inspection ----------------------------------------------------

@@ -186,6 +186,13 @@ class RequestBatcher:
         )
         self._observer = observer
         self._telemetry = telemetry
+        #: Slow-op log (mode "full" only): fed per fan-out, finalized at
+        #: the end of each flush cycle once the flush span has closed.
+        self._taillog = (
+            getattr(telemetry, "taillog", None)
+            if telemetry is not None
+            else None
+        )
         # Per-request enqueue timestamps exist only to feed the observer
         # (or a flush span's queue-wait attribute); with neither installed
         # the clock reads are skipped entirely (a measurable saving at
@@ -477,6 +484,11 @@ class RequestBatcher:
             await self._flush()
         while self._solo_tasks:
             await asyncio.gather(*list(self._solo_tasks))
+        if self._taillog is not None:
+            # Solo-mode (max_batch=1) marks never pass through a flush
+            # cycle; sweep them up here so close() leaves nothing pending.
+            tel = self._telemetry
+            self._taillog.finalize(tel.tracer if tel is not None else None)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -533,6 +545,10 @@ class RequestBatcher:
             t0s += [op[3] for _, op in writes]
             sp.attrs["queue_wait_us"] = (self._clock() - min(t0s)) * 1e6
             await self._dispatch_all(gets, ranges, writes, held_gets, held_ranges)
+        if self._taillog is not None:
+            # Outside the span block: the flush span has closed, so the
+            # tracer ring now holds the complete trace for each mark.
+            self._taillog.finalize(tracer)
 
     async def _dispatch_all(
         self,
@@ -594,8 +610,19 @@ class RequestBatcher:
 
     def _finish(self, op: Tuple, kind: str) -> None:
         self._stats["ops"][kind] += 1
+        if self._observer is None and self._taillog is None:
+            return
+        latency = self._clock() - op[3]
         if self._observer is not None:
-            self._observer(kind, [self._clock() - op[3]])
+            self._observer(kind, [latency])
+        if self._taillog is not None:
+            ctx = self._telemetry.ctx()
+            self._taillog.observe(
+                kind,
+                np.asarray([latency * 1e6]),
+                trace_id=None if ctx is None else ctx[0],
+                keys=[op[0]],
+            )
 
     def _note_batch(self, kind: str, size: int) -> None:
         self._stats["batches"][kind] += 1
@@ -619,7 +646,10 @@ class RequestBatcher:
         """
         now = self._clock()
         observer = self._observer
-        latencies = [] if observer is not None else None
+        taillog = self._taillog
+        latencies = (
+            [] if observer is not None or taillog is not None else None
+        )
         for op, value in zip(chunk, values):
             fut = op[2]
             if not fut.done():
@@ -629,6 +659,16 @@ class RequestBatcher:
         self._stats["ops"][kind] += len(chunk)
         if observer is not None:
             observer(kind, latencies)
+        if taillog is not None:
+            # op[0] is the key (or a range's lo bound) — enough for the
+            # slow record to carry the op's key range.
+            ctx = self._telemetry.ctx()
+            taillog.observe(
+                kind,
+                np.asarray(latencies, dtype=np.float64) * 1e6,
+                trace_id=None if ctx is None else ctx[0],
+                keys=[op[0] for op in chunk],
+            )
 
     async def _dispatch_gets_sharded(self, chunk: List[Tuple]) -> bool:
         """Answer one get chunk as concurrent per-shard tasks.

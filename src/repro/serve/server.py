@@ -91,7 +91,16 @@ class Server:
         ``open_server(..., telemetry="full")`` yields one shared registry
         across both layers. Enables per-op latency histograms
         (``repro_serve_latency_us``), summary/batcher registry callbacks,
-        and — in ``"full"`` mode — the batcher's flush/dispatch spans.
+        and — in ``"full"`` mode — the batcher's flush/dispatch spans
+        plus the slow-op log.
+    admin_port:
+        When set (requires telemetry), ``async with`` starts a live
+        :class:`repro.obs.http.AdminServer` on this port (``0`` = pick a
+        free one, readable from ``server.admin.port``) exposing
+        ``/metrics``, ``/stats``, ``/slow`` and ``/workload``; it is
+        shut down by :meth:`close`.
+    admin_host:
+        Bind address for the admin endpoint (default loopback).
     """
 
     def __init__(
@@ -107,6 +116,8 @@ class Server:
         shard_concurrency: int = 0,
         latency_window: int = 100_000,
         telemetry: Any = None,
+        admin_port: Optional[int] = None,
+        admin_host: str = "127.0.0.1",
     ) -> None:
         if overload not in ("wait", "reject"):
             raise InvalidParameterError(
@@ -176,6 +187,15 @@ class Server:
             ),
             telemetry=self.telemetry,
         )
+        if admin_port is not None and self.telemetry is None:
+            raise InvalidParameterError(
+                "admin_port requires telemetry (the endpoint serves the "
+                "telemetry bundle's registry)"
+            )
+        self._admin_port = admin_port
+        self._admin_host = admin_host
+        #: The running admin endpoint (after ``__aenter__``), or ``None``.
+        self.admin: Any = None
         self._max_pending = max_pending
         self._overload = overload
         # Created lazily on first bounded admission: on Python 3.9 an
@@ -207,6 +227,9 @@ class Server:
         if self._closed:
             return
         self._closed = True
+        if self.admin is not None:
+            await self.admin.close()
+            self.admin = None
         await self._batcher.drain()
         if self._owns_executor:
             self._executor.shutdown(wait=True)
@@ -214,7 +237,32 @@ class Server:
             self._shard_executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "Server":
+        await self.start_admin()
         return self
+
+    async def start_admin(self) -> Optional[Any]:
+        """Start the admin endpoint if ``admin_port`` was configured.
+
+        Idempotent; called automatically by ``async with``. Useful
+        directly when the server is managed without the context manager.
+
+        Returns
+        -------
+        AdminServer or None
+            The running endpoint, or ``None`` when no ``admin_port`` was
+            configured.
+        """
+        if self._admin_port is None or self.admin is not None:
+            return self.admin
+        from repro.obs.http import AdminServer
+
+        self.admin = await AdminServer(
+            self.telemetry,
+            server=self,
+            host=self._admin_host,
+            port=self._admin_port,
+        ).start()
+        return self.admin
 
     async def __aexit__(self, *exc_info: Any) -> None:
         await self.close()

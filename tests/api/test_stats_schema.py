@@ -36,6 +36,8 @@ ENGINE_KEYS = {
     "workers",
     "ipc",
     "wal",
+    "workload",
+    "slow_ops",
 }
 
 ENGINE_BACKENDS = {
@@ -61,6 +63,9 @@ def test_engine_stats_schema_is_uniform(name):
             stats["ipc"]
         )
         assert isinstance(stats["workers"], list)
+        # Telemetry off: the observability blocks exist but are None.
+        assert stats["workload"] is None
+        assert stats["slow_ops"] is None
     finally:
         close = getattr(engine, "close", None)
         if close is not None:
@@ -81,6 +86,84 @@ def test_cluster_structural_stats_match_in_process_twin():
             assert a[key] == b[key], (key, a[key], b[key])
         assert len(b["workers"]) == 2
         assert b["ipc"]["batches"] > 0
+    finally:
+        cluster.close()
+
+
+#: The ``stats()["workload"]`` block schema (telemetry with profiling on).
+WORKLOAD_KEYS = {
+    "n_bins",
+    "n_shards",
+    "sample",
+    "batch_sample",
+    "total_keys",
+    "merged_deltas",
+    "read_fraction",
+    "verbs",
+    "heatmap",
+    "hot_keys",
+    "skew",
+}
+
+#: The ``stats()["slow_ops"]`` block schema (telemetry mode "full").
+SLOW_OPS_KEYS = {
+    "count",
+    "capacity",
+    "dropped",
+    "observed",
+    "threshold_us",
+    "p99_estimate_us",
+}
+
+
+@pytest.mark.parametrize("name", sorted(ENGINE_BACKENDS))
+def test_workload_stats_schema_is_uniform(name):
+    engine = open_engine(KEYS, telemetry="full", **ENGINE_BACKENDS[name])
+    try:
+        engine.get_batch(KEYS[:256])
+        stats = engine.stats()
+        assert set(stats) == ENGINE_KEYS
+        workload = stats["workload"]
+        assert set(workload) == WORKLOAD_KEYS, set(workload) ^ WORKLOAD_KEYS
+        assert workload["total_keys"] >= 256
+        assert set(workload["verbs"]) == {"get", "range", "insert", "delete"}
+        assert len(workload["heatmap"]) == workload["n_shards"]
+        assert {"per_shard", "shard_gini", "hottest_shard", "top_bins"} <= set(
+            workload["skew"]
+        )
+        assert set(stats["slow_ops"]) == SLOW_OPS_KEYS
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+
+def test_cluster_workload_block_structurally_matches_twin():
+    twin = open_engine(KEYS, executor="sharded", n_shards=2,
+                       telemetry="full")
+    cluster = open_engine(KEYS, executor="cluster", n_shards=2,
+                          telemetry="full")
+    try:
+        # 960 keys: divisible by the profiler's default stride, so the
+        # in-process scaled verb counts come out exact and comparable to
+        # the cluster side's exact per-delta totals.
+        q = KEYS[::5][:960]
+        twin.get_batch(q)
+        cluster.get_batch(q)
+        a = twin.stats()["workload"]
+        b = cluster.stats()["workload"]
+        assert set(a) == set(b) == WORKLOAD_KEYS
+        assert a["n_shards"] == b["n_shards"] == 2
+        assert a["n_bins"] == b["n_bins"]
+        # Both sides profiled the same batch (counts are sketch
+        # estimates, so compare structure and totals, not bins).
+        assert b["merged_deltas"] > 0
+        assert a["total_keys"] == b["total_keys"]
+        assert sum(a["verbs"]["get"]) == sum(b["verbs"]["get"])
+        assert [set(row) for row in a["heatmap"]] == [
+            set(row) for row in b["heatmap"]
+        ]
+        assert set(a["skew"]) == set(b["skew"])
     finally:
         cluster.close()
 

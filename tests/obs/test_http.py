@@ -1,0 +1,131 @@
+"""Unit tests for the asyncio admin endpoint."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.http import AdminServer, serve
+
+
+async def _fetch(port, path, method="GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ")[1])
+    headers = head.decode().lower()
+    return status, headers, body
+
+
+def _full_telemetry():
+    tel = Telemetry(mode="full")
+    tel.registry.counter("demo_total", "Demo counter.").labels().inc(3)
+    tel.ensure_workload([100.0])
+    tel.workload.record("get", np.array([1.0, 2.0, 150.0]))
+    return tel
+
+
+def test_metrics_route_serves_prometheus_text():
+    async def run():
+        admin = await AdminServer(_full_telemetry()).start()
+        try:
+            status, headers, body = await _fetch(admin.port, "/metrics")
+            assert status == 200
+            assert "text/plain" in headers
+            assert b"demo_total 3" in body
+        finally:
+            await admin.close()
+
+    asyncio.run(run())
+
+
+def test_stats_route_returns_snapshot_json():
+    async def run():
+        admin = await AdminServer(_full_telemetry()).start()
+        try:
+            status, headers, body = await _fetch(admin.port, "/stats")
+            assert status == 200 and "application/json" in headers
+            snap = json.loads(body)
+            assert snap["mode"] == "full"
+            assert snap["workload"]["total_keys"] == 3
+        finally:
+            await admin.close()
+
+    asyncio.run(run())
+
+
+def test_workload_and_slow_routes_parse():
+    async def run():
+        admin = await AdminServer(_full_telemetry()).start()
+        try:
+            _, _, body = await _fetch(admin.port, "/workload")
+            wl = json.loads(body)
+            assert wl["workload"]["n_shards"] == 2
+            assert wl["skew"]["hottest_shard"] == 0
+            _, _, body = await _fetch(admin.port, "/slow")
+            slow = json.loads(body)
+            assert slow["summary"]["count"] == 0
+            assert slow["records"] == []
+        finally:
+            await admin.close()
+
+    asyncio.run(run())
+
+
+def test_unknown_path_404_and_non_get_405():
+    async def run():
+        admin = await AdminServer(_full_telemetry()).start()
+        try:
+            status, _, _ = await _fetch(admin.port, "/nope")
+            assert status == 404
+            status, _, _ = await _fetch(admin.port, "/metrics", method="POST")
+            assert status == 405
+        finally:
+            await admin.close()
+
+    asyncio.run(run())
+
+
+def test_serve_wraps_bare_registry_with_shim():
+    async def run():
+        reg = MetricsRegistry()
+        reg.counter("bare_total", "Bare registry counter.").labels().inc()
+        admin = await serve(reg)
+        try:
+            status, _, body = await _fetch(admin.port, "/metrics")
+            assert status == 200 and b"bare_total 1" in body
+            _, _, body = await _fetch(admin.port, "/workload")
+            assert json.loads(body) == {"workload": None, "skew": None}
+            _, _, body = await _fetch(admin.port, "/slow")
+            assert json.loads(body)["summary"] is None
+        finally:
+            await admin.close()
+
+    asyncio.run(run())
+
+
+def test_json_dumps_handles_numpy_and_nonfinite():
+    from repro.obs.http import _dumps
+
+    payload = {
+        "a": np.int64(3),
+        "b": np.float64("inf"),
+        "c": np.arange(3),
+    }
+    out = json.loads(_dumps(payload))
+    assert out == {"a": 3, "b": None, "c": [0, 1, 2]}
+
+
+def test_server_admin_port_requires_telemetry():
+    from repro.core.errors import InvalidParameterError
+    from repro.engine import ShardedEngine
+    from repro.serve.server import Server
+
+    eng = ShardedEngine(np.sort(np.random.default_rng(0).uniform(0, 1, 100)))
+    with pytest.raises(InvalidParameterError):
+        Server(eng, admin_port=0)

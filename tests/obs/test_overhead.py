@@ -1,34 +1,59 @@
-"""The disabled-path cost guard: telemetry off must be ~free.
+"""The telemetry cost guards: off must be ~free, the profiler cheap.
 
-Runs the ``obs`` bench experiment at smoke size and asserts the claim the
-docs make: an engine opened with ``telemetry="off"`` pays <= 2% on the
-``get_batch`` hot loop relative to the un-instrumented implementation
-(the experiment measures matched pairs and keeps per-mode minima, so the
-comparison is robust to scheduler noise).
+Runs the ``obs`` bench experiment at smoke size and asserts the claims
+the docs make: an engine opened with ``telemetry="off"`` pays <= 2% on
+the ``get_batch`` hot loop relative to the un-instrumented
+implementation, and the workload profiler's increment — the
+``"workload"`` row minus the ``"metrics"`` row, both in percentage
+points of baseline — stays <= 5%. Both guards are differentials between
+rows measured in the same matched-pair rounds, so common-mode timing
+drift cancels instead of failing the build.
 """
 
-from repro.bench.exp_obs import OFF_OVERHEAD_LIMIT_PCT, obs
+from repro.bench.exp_obs import (
+    OFF_OVERHEAD_LIMIT_PCT,
+    WORKLOAD_OVERHEAD_LIMIT_PCT,
+    obs,
+)
+
+ALL_MODES = {
+    "baseline", "off", "metrics", "workload", "full", "full+workload",
+}
+
+
+def _mode_pct(result, mode):
+    return next(r["overhead_pct"] for r in result.rows if r["mode"] == mode)
 
 
 def test_disabled_telemetry_overhead_within_guard():
     result = obs(n=20_000, n_queries=20_000, repeats=9, out=None)
     rows = {r["mode"]: r for r in result.rows}
-    assert set(rows) == {"baseline", "off", "metrics", "full"}
+    assert set(rows) == ALL_MODES
     assert rows["baseline"]["overhead_pct"] == 0.0
     off_pct = rows["off"]["overhead_pct"]
     if off_pct > OFF_OVERHEAD_LIMIT_PCT:
         # Timing on a loaded CI box is noisy at smoke size; one retry at
         # higher repeat count separates a real regression from a blip.
         retry = obs(n=20_000, n_queries=20_000, repeats=21, out=None)
-        off_pct = min(
-            off_pct,
-            next(r["overhead_pct"] for r in retry.rows if r["mode"] == "off"),
-        )
+        off_pct = min(off_pct, _mode_pct(retry, "off"))
     assert off_pct <= OFF_OVERHEAD_LIMIT_PCT, rows["off"]
     # Enabled modes must still answer correctly-sized throughput numbers
     # (the point of recording them is the trajectory, not a bar).
-    for mode in ("metrics", "full"):
+    for mode in ("metrics", "workload", "full", "full+workload"):
         assert rows[mode]["ops_per_second"] > 0
+
+
+def _profiler_increment(result):
+    return _mode_pct(result, "workload") - _mode_pct(result, "metrics")
+
+
+def test_workload_profiler_increment_within_guard():
+    result = obs(n=20_000, n_queries=20_000, repeats=9, out=None)
+    inc_pct = _profiler_increment(result)
+    if inc_pct > WORKLOAD_OVERHEAD_LIMIT_PCT:
+        retry = obs(n=20_000, n_queries=20_000, repeats=21, out=None)
+        inc_pct = min(inc_pct, _profiler_increment(retry))
+    assert inc_pct <= WORKLOAD_OVERHEAD_LIMIT_PCT, inc_pct
 
 
 def test_experiment_registered_with_harness():

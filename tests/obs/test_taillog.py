@@ -1,0 +1,99 @@
+"""Unit tests for the slow-op log: threshold, marks, attribution."""
+
+import numpy as np
+
+from repro.obs import SlowOpLog, Tracer, span_record
+
+
+def _feed_uniform(log, n=512, value=100.0):
+    log.observe("get", np.full(n, value))
+
+
+def test_threshold_stays_infinite_until_min_samples():
+    log = SlowOpLog(min_samples=64, refresh=16)
+    log.observe("get", np.full(8, 100.0))
+    assert log.summary()["threshold_us"] is None
+    _feed_uniform(log)
+    assert log.summary()["threshold_us"] is not None
+
+
+def test_slow_ops_marked_and_finalized_without_tracer():
+    log = SlowOpLog(min_samples=32, refresh=32)
+    _feed_uniform(log)  # threshold settles near 100us
+    log.observe("get", np.array([100.0, 5000.0, 90.0]),
+                keys=np.array([1.0, 42.0, 3.0]))
+    made = log.finalize()
+    assert made == 1
+    (rec,) = log.records()
+    assert rec["kind"] == "get"
+    assert rec["latency_us"] == 5000.0
+    assert rec["key"] == 42.0
+    assert rec["key_lo"] == 1.0 and rec["key_hi"] == 42.0
+    assert rec["spans"] == []
+    assert set(rec["stages_us"]) == {
+        "queue_wait_us", "route_us", "worker_compute_us", "gather_us",
+    }
+
+
+def test_marks_capped_per_cycle_keep_the_worst():
+    log = SlowOpLog(min_samples=32, refresh=32, max_marks_per_cycle=2)
+    _feed_uniform(log)
+    lat = np.array([100.0, 9000.0, 8000.0, 7000.0, 6000.0])
+    log.observe("get", lat)
+    log.finalize()
+    kept = sorted(r["latency_us"] for r in log.records())
+    assert kept == [8000.0, 9000.0]
+
+
+def test_ring_eviction_increments_dropped():
+    log = SlowOpLog(capacity=2, min_samples=32, refresh=32,
+                    max_marks_per_cycle=8)
+    _feed_uniform(log)
+    for _ in range(3):
+        log.observe("get", np.array([9000.0]))
+        log.finalize()
+    assert len(log.records()) == 2
+    assert log.summary()["dropped"] == 1
+
+
+def test_finalize_attaches_span_tree_and_stage_breakdown():
+    tr = Tracer()
+    with tr.span("serve.flush", queue_wait_us=120.0) as root:
+        trace_id = root.trace_id
+        with tr.span("cluster.get_batch"):
+            ctx = tr.ctx()
+            pass
+    # A foreign worker's compute span stitched into the same trace.
+    tr.ingest([span_record("worker.compute", ctx, 0.0, 0.004, pid=999)])
+
+    log = SlowOpLog(min_samples=32, refresh=32)
+    _feed_uniform(log)
+    log.observe("get", np.array([9000.0]), trace_id=trace_id)
+    assert log.finalize(tr) == 1
+    (rec,) = log.records()
+    names = {sp["name"] for sp in rec["spans"]}
+    assert {"serve.flush", "cluster.get_batch", "worker.compute"} <= names
+    stages = rec["stages_us"]
+    assert stages["queue_wait_us"] == 120.0
+    assert stages["worker_compute_us"] == 4000.0
+    assert stages["route_us"] >= 0.0
+
+
+def test_clear_drops_records_but_keeps_threshold():
+    log = SlowOpLog(min_samples=32, refresh=32)
+    _feed_uniform(log)
+    before = log.summary()["threshold_us"]
+    log.observe("get", np.array([9000.0]))
+    log.finalize()
+    log.clear()
+    assert log.records() == []
+    assert log.summary()["threshold_us"] == before
+
+
+def test_unroutable_keys_fall_back_to_keyless_marks():
+    log = SlowOpLog(min_samples=32, refresh=32)
+    _feed_uniform(log)
+    log.observe("get", np.array([9000.0]), keys=["not-a-key"])
+    log.finalize()
+    (rec,) = log.records()
+    assert rec["key"] is None and rec["key_lo"] is None

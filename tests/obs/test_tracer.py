@@ -72,6 +72,33 @@ def test_ingest_drops_malformed_records():
     assert tr.dropped == 3
 
 
+def test_dropped_splits_ring_evictions_from_malformed_ingest():
+    tr = Tracer(capacity=2)
+    for i in range(5):
+        with tr.span(f"s{i}"):
+            pass
+    tr.ingest([None])
+    # Ring overflow and bad ingest are distinct failure modes; the
+    # aggregate `dropped` stays as the back-compat sum.
+    assert tr.dropped_spans == 3
+    assert tr.dropped_malformed == 1
+    assert tr.dropped == 4
+
+
+def test_snapshot_surfaces_dropped_span_counters():
+    from repro.obs import snapshot
+    from repro.obs.metrics import MetricsRegistry
+
+    tr = Tracer(capacity=1)
+    for i in range(3):
+        with tr.span(f"s{i}"):
+            pass
+    out = snapshot(MetricsRegistry(), tr)
+    assert out["trace"]["dropped_spans"] == 2
+    assert out["trace"]["dropped_malformed"] == 0
+    assert out["trace"]["dropped"] == 2
+
+
 def test_span_ids_are_pid_prefixed_and_unique():
     import os
 

@@ -1,0 +1,96 @@
+"""Network tier tour: a TCP backend fleet behind a key-range router.
+
+The whole wire stack in one file: spawn two server processes each owning
+half the key space (``TcpCluster``), fan requests across them with a
+client-side ``Router`` (same cuts geometry the engine shards with),
+survive a SIGKILLed backend (ejection -> typed error -> restart ->
+re-admission), and let the SLA controller fix a deliberately terrible
+batching delay.
+
+Run: ``PYTHONPATH=src python examples/tcp_cluster.py``
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.net import AsyncNetClient, BackendDownError, TcpCluster, serve_tcp
+
+N_KEYS = 100_000
+
+
+async def tour(fleet):
+    async with fleet.router(health_interval=0.1) as router:
+        pong = await router.ping()
+        print("backends:", fleet.addresses, "pids:", pong["pids"])
+
+        # Point and batch verbs route by key range, transparently.
+        keys = fleet.keys
+        assert await router.get(float(keys[10])) == 10
+        probe = np.random.default_rng(1).permutation(keys)[:4096]
+        start = time.perf_counter()
+        values = await router.get_batch(probe)
+        elapsed = time.perf_counter() - start
+        print(f"routed get_batch[{probe.size}] in {elapsed * 1e3:.1f}ms "
+              f"({probe.size / elapsed:,.0f} keys/s over real sockets)")
+        assert np.array_equal(values, np.searchsorted(keys, probe))
+
+        # Ranges straddling the cut stitch results from both backends.
+        lo, hi = float(keys[100]), float(keys[-100])
+        rk, _ = await router.range(lo, hi)
+        print(f"range across the cut: {len(rk):,} rows from "
+              f"{router.stats()['scatter_legs']} scatter legs")
+
+        # Failure model: SIGKILL one backend, watch the router eject it,
+        # then restart and watch the health loop re-admit it.
+        fleet.kill(1)
+        try:
+            await router.get(float(keys[-10]))  # owned by the dead half
+        except BackendDownError as exc:
+            print(f"backend {exc.backend} down -> typed error, ejected")
+        assert await router.get(float(keys[10])) == 10  # other half fine
+        fleet.restart(1)
+        while not all(await router.check_health()):
+            await asyncio.sleep(0.05)
+        assert await router.get(float(keys[-10])) is not None
+        s = router.stats()
+        print("backend restarted and re-admitted; counters:",
+              {k: s[k] for k in ("requests", "scatter_legs",
+                                 "ejections", "readmissions")})
+
+
+async def sla_demo(keys):
+    # A server misconfigured with a 50ms batch delay; the controller
+    # adapts max_delay until the windowed p99 is under the 5ms target.
+    net = await serve_tcp(keys, eager_flush=False, max_delay=0.05,
+                          sla_target_p99_us=5_000.0, sla_interval=0.05)
+    client = AsyncNetClient(*net.address)
+    await client.connect()
+    try:
+        for _ in range(20):
+            await asyncio.gather(
+                *[client.get(float(k)) for k in keys[:64]]
+            )
+        sla = net.server.stats()["sla"]
+        print(f"SLA controller: max_delay 50ms -> "
+              f"{sla['max_delay'] * 1e6:.0f}us "
+              f"(p99 {sla['last_p99_us']:,.0f}us, target "
+              f"{sla['target_p99_us']:,.0f}us)")
+    finally:
+        await client.close()
+        await net.close()
+
+
+def main():
+    keys = np.sort(np.random.default_rng(0).uniform(0, 1e9, N_KEYS))
+    values = np.arange(N_KEYS, dtype=np.int64)
+    with TcpCluster(keys, values, backends=2, n_shards=2) as fleet:
+        fleet.keys = keys  # handed to the tour for query sampling
+        asyncio.run(tour(fleet))
+    print("fleet stopped; sockets closed")
+    asyncio.run(sla_demo(keys))
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,7 @@ from repro.core import (
 from repro.cluster import ClusterEngine, ClusterError
 from repro.engine import FlatView, ShardedEngine
 from repro.memsim import AccessCounter, CacheSim, LatencyModel
+from repro.net import NetClient, NetServer, Router, TcpCluster, connect, serve_tcp
 from repro.obs import Telemetry
 
 __version__ = "1.0.0"
@@ -91,17 +92,23 @@ __all__ = [
     "FlatView",
     "FullIndex",
     "LatencyModel",
+    "NetClient",
+    "NetServer",
+    "Router",
     "ShardDispatchEngine",
     "ShardedEngine",
     "SecondaryFITingTree",
     "Segment",
     "StringFITingTree",
+    "TcpCluster",
     "Telemetry",
+    "connect",
     "exact_cone",
     "load_index",
     "open_engine",
     "open_server",
     "save_index",
+    "serve_tcp",
     "optimal_segment_count",
     "optimal_segments",
     "optimal_segments_endpoint",

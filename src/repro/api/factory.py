@@ -42,6 +42,31 @@ __all__ = ["EngineConfig", "open_engine", "open_server"]
 _EXECUTORS = ("single", "sharded", "cluster")
 _INDEXES = ("fiting", "fixed")
 
+#: Named starting points for :meth:`EngineConfig.preset`. Values are plain
+#: field dicts so presets serialize exactly like hand-written configs.
+_PRESETS: Dict[str, Dict[str, Any]] = {
+    "read_optimized": {
+        "error": 32.0,
+        "buffer_capacity": 16,
+        "max_batch": 4096,
+        "max_delay": 0.001,
+        "eager_flush": True,
+        "latency_window": 100_000,
+    },
+    "write_optimized": {
+        "error": 256.0,
+        "buffer_capacity": 128,
+        "max_batch": 1024,
+        "max_delay": 0.004,
+        "eager_flush": False,
+    },
+    "durable": {
+        "durability": "wal+snapshot",
+        "wal_sync": True,
+        "background_snapshots": True,
+    },
+}
+
 
 @dataclass
 class EngineConfig:
@@ -113,6 +138,22 @@ class EngineConfig:
         :func:`open_server` starts a live admin HTTP endpoint on this
         port when entered (``0`` = pick a free port); see
         :class:`repro.obs.http.AdminServer`.
+    listen:
+        When set (``"host:port"``; empty host = loopback, port ``0`` =
+        auto-assign), :func:`open_server` wraps the server in a
+        :class:`~repro.net.NetServer` TCP adapter bound there instead of
+        returning the in-process facade.
+    sla_target_p99_us:
+        When set, the server runs an
+        :class:`~repro.serve.sla.SlaController` that adapts the
+        batcher's ``max_delay`` online to keep windowed p99 latency at
+        or under this many microseconds.
+    sla_interval:
+        Seconds between SLA control decisions.
+    background_snapshots:
+        When True (``durability="wal+snapshot"`` only), generation
+        rotation happens on a background thread instead of riding a
+        write's latency; see :class:`~repro.wal.store.WalStore`.
     """
 
     executor: str = "sharded"
@@ -143,6 +184,12 @@ class EngineConfig:
     # -- observability --
     telemetry: Any = "off"
     admin_port: Optional[int] = None
+    # -- network tier --
+    listen: Optional[str] = None
+    sla_target_p99_us: Optional[float] = None
+    sla_interval: float = 0.05
+    # -- durability tuning --
+    background_snapshots: bool = False
 
     def validate(self) -> None:
         """Reject unknown executor/index/telemetry kinds with a typed error."""
@@ -170,6 +217,14 @@ class EngineConfig:
         if self.durability != "off" and not self.data_dir:
             raise InvalidParameterError(
                 f"durability={self.durability!r} requires data_dir"
+            )
+        if self.sla_target_p99_us is not None and self.sla_target_p99_us <= 0:
+            raise InvalidParameterError(
+                f"sla_target_p99_us must be > 0, got {self.sla_target_p99_us}"
+            )
+        if self.listen is not None and ":" not in self.listen:
+            raise InvalidParameterError(
+                f'listen must be "host:port", got {self.listen!r}'
             )
 
     # ------------------------------------------------------------------
@@ -252,6 +307,46 @@ class EngineConfig:
         except ValueError as exc:
             raise InvalidParameterError(f"invalid config JSON: {exc}") from exc
         return cls.from_dict(data)
+
+    @classmethod
+    def preset(cls, name: str, **overrides: Any) -> "EngineConfig":
+        """A named starting-point config for a common deployment shape.
+
+        Presets are plain configs — they serialize, round-trip through
+        JSON, and accept the same field overrides as the constructor
+        (overrides win over the preset's choices).
+
+        Parameters
+        ----------
+        name:
+            ``"read_optimized"`` — tight error bound and small insert
+            buffers (fewer keys scanned per lookup), large read batches
+            with a short batching timer;
+            ``"write_optimized"`` — loose error bound and large insert
+            buffers (fewer splits per insert), lazier flushing so writes
+            coalesce;
+            ``"durable"`` — ``"wal+snapshot"`` durability with
+            background snapshot rotation (pass ``data_dir=...``).
+        **overrides:
+            Individual fields to override on top of the preset.
+
+        Returns
+        -------
+        EngineConfig
+            A validated config. ``"durable"`` requires a ``data_dir``
+            override (validation rejects the preset without one).
+        """
+        try:
+            base = dict(_PRESETS[name])
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown preset {name!r}; choose from "
+                f"{tuple(sorted(_PRESETS))}"
+            ) from None
+        base.update(overrides)
+        config = cls(**base)
+        config.validate()
+        return config
 
     def index_factory(self):
         """The per-shard ``f(keys, values) -> PagedIndexBase`` this config
@@ -387,6 +482,7 @@ def _open_durable(keys, values, config, n_shards, telemetry):
         durability=config.durability,
         snapshot_interval_bytes=config.snapshot_interval_bytes,
         sync=config.wal_sync,
+        background_snapshots=config.background_snapshots,
     )
     engine = None
     try:
@@ -448,17 +544,21 @@ def open_server(keys=None, values=None, *, config: Optional[EngineConfig] = None
 
     Returns
     -------
-    Server
-        An unstarted asyncio server facade over the opened engine
-        (``async with open_server(...) as s: await s.get(k)``). Closing
-        the server does not close a cluster engine — callers own the
-        engine's lifecycle via ``server.engine``.
+    Server or NetServer
+        With ``listen`` unset: an unstarted asyncio server facade over
+        the opened engine (``async with open_server(...) as s:
+        await s.get(k)``). With ``listen="host:port"`` set: an unstarted
+        :class:`~repro.net.NetServer` TCP adapter wrapping that facade
+        (``await net.start()`` binds the socket; the facade stays
+        reachable as ``net.server``). Closing either does not close a
+        cluster engine — callers own the engine's lifecycle via
+        ``server.engine`` (but see :func:`~repro.net.serve_tcp`).
     """
     config = _resolved(config, overrides)
     from repro.serve.server import Server
 
     engine = open_engine(keys, values, config=config)
-    return Server(
+    server = Server(
         engine,
         max_batch=config.max_batch,
         max_delay=config.max_delay,
@@ -469,4 +569,12 @@ def open_server(keys=None, values=None, *, config: Optional[EngineConfig] = None
         shard_concurrency=config.shard_concurrency,
         latency_window=config.latency_window,
         admin_port=config.admin_port,
+        sla_target_p99_us=config.sla_target_p99_us,
+        sla_interval=config.sla_interval,
     )
+    if config.listen is None:
+        return server
+    from repro.net.server import NetServer
+
+    host, _, port = config.listen.rpartition(":")
+    return NetServer(server, host=host or "127.0.0.1", port=int(port or 0))

@@ -21,6 +21,7 @@ from repro.bench import exp_cachesim as _exp_cachesim  # noqa: F401
 from repro.bench import exp_cluster as _exp_cluster  # noqa: F401
 from repro.bench import exp_engine as _exp_engine  # noqa: F401
 from repro.bench import exp_misc as _exp_misc  # noqa: F401
+from repro.bench import exp_net as _exp_net  # noqa: F401
 from repro.bench import exp_obs as _exp_obs  # noqa: F401
 from repro.bench import exp_serve as _exp_serve  # noqa: F401
 from repro.bench import exp_table1 as _exp_table1  # noqa: F401

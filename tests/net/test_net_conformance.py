@@ -1,0 +1,104 @@
+"""Conformance: the net path is bit-identical to the in-process server.
+
+The same mixed scenario (batch reads, range scans, inserts, deletes)
+runs against the in-process :class:`~repro.serve.Server`, a TCP client
+against one :func:`serve_tcp` server, and a :class:`~repro.net.Router`
+over a two-backend :class:`~repro.net.TcpCluster`. Every result array
+must match bit for bit — framing, scatter/gather and the wire codecs
+must be invisible to correctness.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.api import open_engine
+from repro.net import AsyncNetClient, TcpCluster, serve_tcp
+from repro.serve.server import Server
+
+RNG = np.random.default_rng(42)
+N = 3_000
+BUILD_KEYS = np.sort(RNG.uniform(0.0, 1e6, N))
+BUILD_VALUES = RNG.integers(0, 1 << 40, N).astype(np.int64)
+PROBES = RNG.permutation(BUILD_KEYS)[:500]
+MISSES = RNG.uniform(2e6, 3e6, 50)
+INS_KEYS = np.sort(RNG.uniform(0.0, 1e6, 200))
+INS_VALUES = RNG.integers(0, 1 << 40, 200).astype(np.int64)
+DEL_KEYS = RNG.permutation(BUILD_KEYS)[:150]
+BOUNDS = np.sort(RNG.uniform(0.0, 1e6, (4, 2)), axis=1)
+
+
+async def _scenario(api):
+    """Drive the mixed workload; returns a flat list of result arrays."""
+    out = []
+    out.append(np.asarray(await api.get_batch(PROBES)))
+    out.append(np.asarray(await api.get_batch(MISSES, -1)))
+    for k, v in await api.range_batch(BOUNDS):
+        out.append(np.asarray(k))
+        out.append(np.asarray(v))
+    await api.insert_batch(INS_KEYS, INS_VALUES)
+    out.append(np.asarray(await api.get_batch(INS_KEYS)))
+    out.append(np.asarray(await api.delete_batch(DEL_KEYS)))
+    out.append(np.asarray(await api.get_batch(BUILD_KEYS[:400], -1)))
+    k, v = await api.range(float(BOUNDS[0, 0]), float(BOUNDS[0, 1]))
+    out.append(np.asarray(k))
+    out.append(np.asarray(v))
+    return out
+
+
+def _inproc():
+    async def run():
+        engine = open_engine(BUILD_KEYS, BUILD_VALUES, n_shards=2,
+                             error=64.0)
+        async with Server(engine) as srv:
+            class _Api:
+                get_batch = staticmethod(srv.get_batch)
+                range_batch = staticmethod(srv.range_batch)
+                insert_batch = staticmethod(srv.insert_batch)
+                delete_batch = staticmethod(srv.delete_batch)
+                range = staticmethod(srv.range)
+
+            return await _scenario(_Api)
+
+    return asyncio.run(run())
+
+
+def _tcp_single():
+    async def run():
+        net = await serve_tcp(BUILD_KEYS, BUILD_VALUES, n_shards=2,
+                              error=64.0)
+        c = AsyncNetClient(*net.address)
+        await c.connect()
+        try:
+            return await _scenario(c)
+        finally:
+            await c.close()
+            await net.close()
+
+    return asyncio.run(run())
+
+
+def _tcp_routed():
+    with TcpCluster(BUILD_KEYS, BUILD_VALUES, backends=2, n_shards=1,
+                    error=64.0) as fleet:
+        async def run():
+            async with fleet.router(health_interval=0) as router:
+                return await _scenario(router)
+
+        return asyncio.run(run())
+
+
+def _assert_identical(a, b, label):
+    assert len(a) == len(b), label
+    for i, (x, y) in enumerate(zip(a, b)):
+        assert x.dtype == y.dtype, f"{label}[{i}] dtype {x.dtype}!={y.dtype}"
+        if x.dtype == object:  # mixed hit/miss results (None defaults)
+            assert list(x) == list(y), f"{label}[{i}]"
+        else:
+            assert np.array_equal(x, y, equal_nan=True), f"{label}[{i}]"
+
+
+def test_net_paths_bit_identical_to_inprocess_server():
+    reference = _inproc()
+    _assert_identical(_tcp_single(), reference, "tcp-single")
+    _assert_identical(_tcp_routed(), reference, "tcp-routed")

@@ -110,12 +110,35 @@ def _headline_wal(doc: Dict[str, Any]) -> Tuple[str, str]:
     return head, detail
 
 
+def _headline_net(doc: Dict[str, Any]) -> Tuple[str, str]:
+    rows = doc["rows"]
+    scalar = [
+        r for r in rows
+        if r["path"] == "tcp" and r["load"] == "closed-loop"
+    ]
+    best = max(scalar, key=lambda r: r["ops_per_second"])
+    batch = next(
+        (r for r in rows
+         if r["path"] == "tcp" and str(r["load"]).startswith("get_batch")),
+        None,
+    )
+    head = f"{best['vs_inproc']:.0%} of in-proc (scalar TCP)"
+    detail = (
+        f"{_fmt_ops(best['ops_per_second'])} @ c={best['clients']}, "
+        f"p99 {best['p99_us']:.0f}us"
+    )
+    if batch is not None:
+        detail += f"; {batch['load']} {batch['vs_inproc']:.0%} of in-proc"
+    return head, detail
+
+
 _HEADLINES = {
     "engine": _headline_engine,
     "serve": _headline_serve,
     "cluster": _headline_cluster,
     "obs": _headline_obs,
     "wal": _headline_wal,
+    "net": _headline_net,
 }
 
 

@@ -38,6 +38,7 @@ TARGETS = (
     "src/repro/api",
     "src/repro/cluster",
     "src/repro/engine",
+    "src/repro/net",
     "src/repro/obs",
     "src/repro/serve",
     "src/repro/wal",
